@@ -1,0 +1,75 @@
+// Ablation: the Alg. 5 local-search swap size p — the paper's own knob
+// (ratio 3 + 2/p, time O(n^p)). We sweep p on Fat-Tree rack-graph
+// instances and report solution quality vs solutions examined: quality
+// saturates quickly while the search space explodes, which is why small p
+// is the right default.
+
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/kmedian_planner.hpp"
+#include "topology/fat_tree.hpp"
+
+int main() {
+  using namespace sheriff;
+  bench::print_figure_header(
+      "Ablation F", "k-median local search: swap size p vs quality and work",
+      "design-choice sweep behind Sec. VI-C: the 3 + 2/p bound tightens with p, but "
+      "observed quality is already near-optimal at p = 1-2 while the neighborhood "
+      "size grows combinatorially");
+
+  topo::FatTreeOptions topt;
+  topt.pods = 8;  // 32 racks
+  const auto topology = topo::build_fat_tree(topt);
+  const core::KMedianPlanner planner(topology);
+
+  common::Table table({"p", "bound 3+2/p", "mean cost vs exact", "max cost vs exact",
+                       "mean evaluations", "evals vs p=1"});
+  common::Pcg32 rng(4040);
+
+  // Shared instance set across p values.
+  struct Instance {
+    std::vector<topo::RackId> sources;
+    std::size_t k;
+  };
+  std::vector<Instance> instances;
+  for (int trial = 0; trial < 6; ++trial) {
+    Instance inst;
+    for (topo::RackId r = 0; r < topology.rack_count(); ++r) {
+      if (rng.bernoulli(0.4)) inst.sources.push_back(r);
+    }
+    if (inst.sources.size() < 5) continue;
+    inst.k = 2 + rng.next_below(3);
+    instances.push_back(std::move(inst));
+  }
+
+  double evals_p1 = 0.0;
+  for (std::size_t p = 1; p <= 4; ++p) {
+    common::RunningStats ratio;
+    common::RunningStats evals;
+    for (const auto& inst : instances) {
+      const auto approx = planner.plan(inst.sources, inst.k, p);
+      const auto exact = planner.plan_exact(inst.sources, inst.k);
+      if (exact.connection_cost > 1e-9) {
+        ratio.add(approx.connection_cost / exact.connection_cost);
+      }
+      evals.add(static_cast<double>(approx.evaluations));
+    }
+    if (p == 1) evals_p1 = evals.mean();
+    table.begin_row()
+        .add(p)
+        .add(3.0 + 2.0 / static_cast<double>(p), 2)
+        .add(ratio.mean(), 4)
+        .add(ratio.max(), 4)
+        .add(evals.mean(), 0)
+        .add(evals_p1 > 0 ? evals.mean() / evals_p1 : 0.0, 1);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: past p = 2 the extra swaps buy (at most) marginal quality for a\n"
+               "combinatorial increase in evaluated candidate solutions.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 2: the six-stage live VM migration timeline (Sec. III-C; Clark
+// et al.). The paper's figure is schematic; this bench regenerates the
+// actual stage durations our model produces across workload and bandwidth
+// scenarios, and checks the headline property the paper cites — downtime
+// is a tiny slice (their reference: ~60 ms) of the total.
+
+#include <iostream>
+
+#include "bench_support.hpp"
+#include "common/table.hpp"
+#include "migration/live_migration.hpp"
+
+int main() {
+  using namespace sheriff;
+  bench::print_figure_header(
+      "Fig. 2", "six-stage pre-copy live migration timeline",
+      "iterative pre-copy shrinks the residue each round; the stop&copy downtime is "
+      "a short period (the paper cites ~60 ms) unless pages dirty faster than the "
+      "link can copy");
+
+  struct Scenario {
+    const char* name;
+    mig::LiveMigrationParams params;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    mig::LiveMigrationParams p;  // idle VM on a fast link
+    p.memory_gb = 2.0;
+    p.dirty_rate_gbps = 0.05;
+    p.bandwidth_gbps = 10.0;
+    scenarios.push_back({"idle VM, 10G link", p});
+  }
+  {
+    mig::LiveMigrationParams p;  // typical
+    p.memory_gb = 4.0;
+    p.dirty_rate_gbps = 0.3;
+    p.bandwidth_gbps = 1.0;
+    scenarios.push_back({"typical VM, 1G link", p});
+  }
+  {
+    mig::LiveMigrationParams p;  // busy
+    p.memory_gb = 8.0;
+    p.dirty_rate_gbps = 0.7;
+    p.bandwidth_gbps = 1.0;
+    scenarios.push_back({"write-heavy VM, 1G link", p});
+  }
+  {
+    mig::LiveMigrationParams p;  // pathological
+    p.memory_gb = 4.0;
+    p.dirty_rate_gbps = 1.5;
+    p.bandwidth_gbps = 1.0;
+    scenarios.push_back({"dirtying faster than copying", p});
+  }
+
+  common::Table table({"scenario", "t1 init s", "t2 pre-copy s", "rounds", "t3 downtime ms",
+                       "t4 commit s", "total s", "moved GB", "downtime share %"});
+  for (const auto& s : scenarios) {
+    const auto t = mig::simulate_live_migration(s.params);
+    table.begin_row()
+        .add(s.name)
+        .add(t.t1_init_seconds, 2)
+        .add(t.t2_precopy_seconds, 2)
+        .add(t.precopy_rounds)
+        .add(t.t3_downtime_seconds * 1e3, 1)
+        .add(t.t4_commit_seconds, 2)
+        .add(t.total_seconds(), 2)
+        .add(t.transferred_gb, 2)
+        .add(100.0 * t.t3_downtime_seconds / t.total_seconds(), 2);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nthe convergent scenarios suspend the VM for well under a second —\n"
+               "consistent with the paper's decision to treat downtime cost as zero —\n"
+               "while the pathological one shows why pre-copy needs a round bound.\n";
+  return 0;
+}

@@ -1,0 +1,222 @@
+// Micro-benchmarks (google-benchmark) of the algorithmic kernels Sheriff
+// leans on: Floyd–Warshall, Dijkstra, Hungarian matching, max–min fair
+// share, k-median local search, the knapsack, and ARIMA/NARNET fitting.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/floyd_warshall.hpp"
+#include "graph/kmedian.hpp"
+#include "graph/knapsack.hpp"
+#include "graph/matching.hpp"
+#include "net/fair_share.hpp"
+#include "net/queueing.hpp"
+#include "net/rate_control.hpp"
+#include "net/routing.hpp"
+#include "timeseries/arima.hpp"
+#include "timeseries/holt_winters.hpp"
+#include "timeseries/narnet.hpp"
+#include "timeseries/simulate.hpp"
+#include "topology/fat_tree.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace {
+
+using namespace sheriff;
+
+graph::Graph random_graph(std::size_t n, std::size_t extra, common::Pcg32& rng) {
+  graph::Graph g(n);
+  for (graph::Vertex v = 1; v < n; ++v) {
+    g.add_edge(v, static_cast<graph::Vertex>(rng.next_below(v)), rng.uniform(0.1, 10.0));
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    const auto a = static_cast<graph::Vertex>(rng.next_below(static_cast<std::uint32_t>(n)));
+    const auto b = static_cast<graph::Vertex>(rng.next_below(static_cast<std::uint32_t>(n)));
+    if (a != b) g.add_edge(a, b, rng.uniform(0.1, 10.0));
+  }
+  return g;
+}
+
+void BM_FloydWarshall(benchmark::State& state) {
+  common::Pcg32 rng(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(n, 3 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::floyd_warshall(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FloydWarshall)->Arg(32)->Arg(64)->Arg(128)->Complexity(benchmark::oNCubed);
+
+void BM_DijkstraFatTree(benchmark::State& state) {
+  topo::FatTreeOptions options;
+  options.pods = static_cast<int>(state.range(0));
+  const auto t = topo::build_fat_tree(options);
+  const auto g = t.wired_graph(topo::EdgeWeight::kHops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_DijkstraFatTree)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_HungarianMatching(benchmark::State& state) {
+  common::Pcg32 rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  graph::AssignmentProblem problem(n, 2 * n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < 2 * n; ++c) problem.set_cost(r, c, rng.uniform(0.0, 100.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::solve_assignment(problem));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HungarianMatching)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_MaxMinFairShare(benchmark::State& state) {
+  topo::FatTreeOptions options;
+  options.pods = 8;
+  const auto t = topo::build_fat_tree(options);
+  const net::Router router(t);
+  common::Pcg32 rng(3);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows;
+  for (net::FlowId id = 0; id < static_cast<net::FlowId>(state.range(0)); ++id) {
+    net::Flow f;
+    f.id = id;
+    f.src_host = rng.pick(hosts);
+    f.dst_host = rng.pick(hosts);
+    if (f.src_host == f.dst_host) continue;
+    f.demand_gbps = rng.uniform(0.05, 1.5);
+    flows.push_back(f);
+  }
+  router.route_all(flows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::max_min_fair_share(t, flows));
+  }
+}
+BENCHMARK(BM_MaxMinFairShare)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_KMedianLocalSearch(benchmark::State& state) {
+  common::Pcg32 rng(4);
+  const std::size_t n = 48;
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+  graph::DistanceMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      m.set(i, j, std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  graph::KMedianInstance instance;
+  instance.distance = &m;
+  instance.k = 6;
+  for (std::size_t i = 0; i < n; ++i) {
+    instance.clients.push_back(i);
+    instance.facilities.push_back(i);
+  }
+  const auto p = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::local_search_kmedian(instance, p));
+  }
+}
+BENCHMARK(BM_KMedianLocalSearch)->Arg(1)->Arg(2);
+
+void BM_Knapsack(benchmark::State& state) {
+  common::Pcg32 rng(5);
+  std::vector<graph::KnapsackItem> items;
+  for (int i = 0; i < 64; ++i) items.push_back({1 + rng.next_below(20), rng.uniform(0.0, 10.0)});
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::min_value_knapsack(items, budget));
+  }
+}
+BENCHMARK(BM_Knapsack)->Arg(50)->Arg(200);
+
+void BM_ArimaFit(benchmark::State& state) {
+  common::Pcg32 rng(6);
+  const auto series =
+      ts::simulate_arma({0.6}, {0.3}, 1.0, 1.0, static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    ts::ArimaModel model(ts::ArimaOrder{1, 1, 1});
+    model.fit(series);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_ArimaFit)->Arg(256)->Arg(1024);
+
+void BM_NarnetFit(benchmark::State& state) {
+  auto gen = wl::make_weekly_traffic_trace(7);
+  const auto series = gen->generate(336);
+  for (auto _ : state) {
+    ts::NarNet::Options options;
+    options.inputs = 8;
+    options.hidden = static_cast<int>(state.range(0));
+    options.max_epochs = 60;
+    ts::NarNet net(options);
+    net.fit(series);
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_NarnetFit)->Arg(10)->Arg(20);
+
+void BM_HoltWintersFit(benchmark::State& state) {
+  auto gen = wl::make_weekly_traffic_trace(8);
+  const auto series = gen->generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ts::HoltWintersModel::Options options;
+    options.period = 48;
+    ts::HoltWintersModel model(options);
+    model.fit(series);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_HoltWintersFit)->Arg(336)->Arg(1344);
+
+void BM_QcnControllerUpdate(benchmark::State& state) {
+  topo::FatTreeOptions options;
+  options.pods = 8;
+  options.tor_agg_gbps = 1.0;
+  const auto t = topo::build_fat_tree(options);
+  const net::Router router(t);
+  common::Pcg32 rng(9);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows;
+  for (net::FlowId id = 0; id < static_cast<net::FlowId>(state.range(0)); ++id) {
+    net::Flow f;
+    f.id = id;
+    f.src_host = rng.pick(hosts);
+    f.dst_host = rng.pick(hosts);
+    if (f.src_host == f.dst_host) continue;
+    f.demand_gbps = rng.uniform(0.5, 2.0);
+    flows.push_back(f);
+  }
+  router.route_all(flows);
+  net::SwitchQueues queues(t);
+  net::QcnRateController controller;
+  const auto shares = net::max_min_fair_share(t, flows);
+  queues.update(shares, flows);
+  for (auto _ : state) {
+    controller.update(flows, queues);
+    benchmark::DoNotOptimize(controller.tracked_flows());
+  }
+}
+BENCHMARK(BM_QcnControllerUpdate)->Arg(256)->Arg(1024);
+
+void BM_FatTreeBuild(benchmark::State& state) {
+  topo::FatTreeOptions options;
+  options.pods = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::build_fat_tree(options));
+  }
+}
+BENCHMARK(BM_FatTreeBuild)->Arg(8)->Arg(24)->Arg(48);
+
+}  // namespace
+
+BENCHMARK_MAIN();

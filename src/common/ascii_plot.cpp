@@ -1,0 +1,123 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/table.hpp"
+
+namespace sheriff::common {
+
+namespace {
+
+constexpr const char* kGlyphs = "*o+x#@%&";
+
+/// Averages `values` into exactly `buckets` columns.
+std::vector<double> resample(const std::vector<double>& values, std::size_t buckets) {
+  std::vector<double> out(buckets, std::numeric_limits<double>::quiet_NaN());
+  if (values.empty()) return out;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * values.size() / buckets;
+    std::size_t hi = (b + 1) * values.size() / buckets;
+    hi = std::max(hi, lo + 1);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = lo; i < hi && i < values.size(); ++i) {
+      sum += values[i];
+      ++n;
+    }
+    if (n > 0) out[b] = sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_plot(std::span<const std::vector<double>> series, const PlotOptions& options) {
+  SHERIFF_REQUIRE(!series.empty(), "render_plot needs at least one series");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  const std::size_t w = options.width;
+  const std::size_t h = options.height;
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % 8];
+    const auto cols = resample(series[si], w);
+    for (std::size_t c = 0; c < w; ++c) {
+      if (std::isnan(cols[c])) continue;
+      const double t = (cols[c] - lo) / (hi - lo);
+      auto row = static_cast<std::ptrdiff_t>(std::lround(t * static_cast<double>(h - 1)));
+      row = std::clamp<std::ptrdiff_t>(row, 0, static_cast<std::ptrdiff_t>(h) - 1);
+      canvas[h - 1 - static_cast<std::size_t>(row)][c] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  for (std::size_t r = 0; r < h; ++r) {
+    if (r == 0) {
+      out << format_fixed(hi, 1) << '\t';
+    } else if (r == h - 1) {
+      out << format_fixed(lo, 1) << '\t';
+    } else {
+      out << '\t';
+    }
+    out << '|' << canvas[r] << '\n';
+  }
+  out << '\t' << '+' << std::string(w, '-') << '\n';
+  if (!options.series_names.empty()) {
+    out << "\tlegend:";
+    for (std::size_t si = 0; si < options.series_names.size() && si < series.size(); ++si) {
+      out << ' ' << kGlyphs[si % 8] << '=' << options.series_names[si];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_plot(const std::vector<double>& series, const PlotOptions& options) {
+  const std::vector<std::vector<double>> wrapped{series};
+  return render_plot(std::span<const std::vector<double>>(wrapped), options);
+}
+
+std::string sparkline(std::span<const double> values, std::size_t width) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) return {};
+  std::vector<double> vec(values.begin(), values.end());
+  const auto cols = resample(vec, std::min(width, vec.size()));
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : cols) {
+    if (std::isnan(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+  std::string out;
+  for (double v : cols) {
+    if (std::isnan(v)) {
+      out += ' ';
+      continue;
+    }
+    const double t = (v - lo) / (hi - lo);
+    const auto idx = std::clamp<int>(static_cast<int>(t * 7.999), 0, 7);
+    out += kBars[idx];
+  }
+  return out;
+}
+
+}  // namespace sheriff::common

@@ -1,0 +1,29 @@
+#pragma once
+// Tiny ASCII line-chart renderer so bench binaries can show the *shape* of
+// each reproduced figure directly in the terminal (and in bench_output.txt).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sheriff::common {
+
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot area columns
+  std::size_t height = 16;  ///< plot area rows
+  std::string title;        ///< optional heading line
+  std::vector<std::string> series_names;  ///< legend entries, one per series
+};
+
+/// Renders one or more equally-important series on a shared y-axis. Each
+/// series is resampled onto `width` columns; distinct glyphs per series.
+/// Returns the multi-line chart (with axis labels) as a string.
+std::string render_plot(std::span<const std::vector<double>> series, const PlotOptions& options);
+
+/// Convenience overload for a single series.
+std::string render_plot(const std::vector<double>& series, const PlotOptions& options);
+
+/// One-line sparkline of a series using block glyphs.
+std::string sparkline(std::span<const double> values, std::size_t width = 64);
+
+}  // namespace sheriff::common

@@ -1,0 +1,32 @@
+#pragma once
+// Lightweight precondition / invariant checking used across the library.
+//
+// SHERIFF_REQUIRE(cond, msg) throws sheriff::common::RequirementError with
+// the failing expression, message and source location. We prefer throwing
+// over assert() so that tests can exercise error paths and so that release
+// builds keep their guard rails (the checks are cheap relative to the
+// simulation work they protect).
+
+#include <stdexcept>
+#include <string>
+
+namespace sheriff::common {
+
+/// Raised when a SHERIFF_REQUIRE precondition fails.
+class RequirementError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void fail_requirement(const char* expr, const std::string& msg,
+                                          const char* file, int line) {
+  throw RequirementError(std::string(file) + ":" + std::to_string(line) +
+                         ": requirement `" + expr + "` failed: " + msg);
+}
+
+}  // namespace sheriff::common
+
+#define SHERIFF_REQUIRE(cond, msg)                                              \
+  do {                                                                          \
+    if (!(cond)) ::sheriff::common::fail_requirement(#cond, (msg), __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,62 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace sheriff::common {
+
+std::uint32_t Pcg32::next_below(std::uint32_t bound) noexcept {
+  if (bound <= 1U) return 0U;
+  // Rejection sampling to remove modulo bias.
+  const std::uint32_t threshold = (0U - bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Pcg32::uniform_int(int lo, int hi) {
+  SHERIFF_REQUIRE(lo <= hi, "uniform_int with lo > hi");
+  const auto span = static_cast<std::uint32_t>(hi - lo) + 1U;
+  return lo + static_cast<int>(next_below(span));
+}
+
+double Pcg32::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller in polar form (avoids trig, never degenerate).
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Pcg32::exponential(double lambda) {
+  SHERIFF_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+  // Inverse CDF; 1 - U avoids log(0).
+  return -std::log(1.0 - next_double()) / lambda;
+}
+
+int Pcg32::poisson(double mean) {
+  SHERIFF_REQUIRE(mean >= 0.0, "poisson mean must be non-negative");
+  if (mean == 0.0) return 0;
+  const double limit = std::exp(-mean);
+  int count = 0;
+  double product = next_double();
+  while (product > limit) {
+    ++count;
+    product *= next_double();
+  }
+  return count;
+}
+
+}  // namespace sheriff::common

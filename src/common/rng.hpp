@@ -1,0 +1,94 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library draws from an explicitly seeded
+// Pcg32 instance, which keeps simulations and regenerated figures
+// bit-reproducible. PCG32 (O'Neill 2014) is small, fast, and has far better
+// statistical quality than std::minstd / rand().
+
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace sheriff::common {
+
+/// PCG-XSH-RR 64/32 generator. Value type: copyable, 16 bytes of state.
+class Pcg32 {
+ public:
+  /// Seeds the generator. `seq` selects one of 2^63 independent streams.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t seq = 0xda3e39cb94b95bdbULL) noexcept {
+    state_ = 0U;
+    inc_ = (seq << 1U) | 1U;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Uniform 32-bit integer.
+  std::uint32_t next_u32() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  /// Uniform integer in [0, bound). Unbiased (rejection sampling).
+  std::uint32_t next_below(std::uint32_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept { return mean + sigma * normal(); }
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double lambda);
+
+  /// Bernoulli trial with success probability `prob` (clamped to [0,1]).
+  bool bernoulli(double prob) noexcept { return next_double() < prob; }
+
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  int poisson(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = next_below(static_cast<std::uint32_t>(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    SHERIFF_REQUIRE(!items.empty(), "pick() from empty vector");
+    return items[next_below(static_cast<std::uint32_t>(items.size()))];
+  }
+
+  /// Derives an independent child stream; use to give each component
+  /// (e.g. each VM's trace) its own generator from one master seed.
+  Pcg32 split() noexcept { return Pcg32(next_u32() | (std::uint64_t{next_u32()} << 32U), inc_ + 2U); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sheriff::common

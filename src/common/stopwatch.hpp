@@ -1,0 +1,24 @@
+#pragma once
+// Monotonic stopwatch for timing bench phases.
+
+#include <chrono>
+
+namespace sheriff::common {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_millis() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sheriff::common

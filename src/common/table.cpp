@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace sheriff::common {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SHERIFF_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::begin_row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  SHERIFF_REQUIRE(!cells_.empty(), "begin_row() before add()");
+  SHERIFF_REQUIRE(cells_.back().size() < headers_.size(), "row has too many cells");
+  cells_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) { return add(format_fixed(value, precision)); }
+Table& Table::add(std::size_t value) { return add(std::to_string(value)); }
+Table& Table::add(int value) { return add(std::to_string(value)); }
+
+const std::string& Table::cell(std::size_t r, std::size_t c) const {
+  SHERIFF_REQUIRE(r < cells_.size() && c < cells_.at(r).size(), "table cell out of range");
+  return cells_[r][c];
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << "  " << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto quote = [](const std::string& s) {
+    if (s.find(',') == std::string::npos && s.find('"') == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << quote(row[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : cells_) print_row(row);
+}
+
+}  // namespace sheriff::common

@@ -1,0 +1,42 @@
+#pragma once
+// Column-aligned text tables and CSV output. Every bench prints the series
+// a paper figure plots as one of these tables, so the harness output can be
+// diffed, grepped, and re-plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sheriff::common {
+
+/// A simple row/column table. Cells are stored as strings; numeric helpers
+/// format with fixed precision so columns line up.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add_* calls fill it left to right.
+  Table& begin_row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 3);
+  Table& add(std::size_t value);
+  Table& add(int value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t r, std::size_t c) const;
+
+  /// Renders with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+std::string format_fixed(double value, int precision);
+
+}  // namespace sheriff::common

@@ -1,0 +1,62 @@
+#pragma once
+// Work-queue thread pool plus a parallel_for helper.
+//
+// The distributed engine runs one ShimController task per rack per round on
+// this pool (shims only interact through message mailboxes, so tasks are
+// data-race free), and the benches use parallel_for to sweep topology sizes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sheriff::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it finishes (exceptions
+  /// propagate through the future).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool, blocking until all complete.
+/// Exceptions from any iteration are rethrown (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Process-wide default pool (lazily constructed, sized to the hardware).
+ThreadPool& default_pool();
+
+}  // namespace sheriff::common

@@ -1,0 +1,24 @@
+#include "core/alert.hpp"
+
+#include "common/require.hpp"
+
+namespace sheriff::core {
+
+const char* to_string(AlertSource source) noexcept {
+  switch (source) {
+    case AlertSource::kHost: return "host";
+    case AlertSource::kLocalTor: return "local-tor";
+    case AlertSource::kOuterSwitch: return "outer-switch";
+  }
+  return "unknown";
+}
+
+AlertScheme::AlertScheme(double threshold) : threshold_(threshold) {
+  SHERIFF_REQUIRE(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
+}
+
+double AlertScheme::vm_alert(const wl::WorkloadProfile& predicted) const noexcept {
+  return predicted.any_exceeds(threshold_) ? predicted.max_component() : 0.0;
+}
+
+}  // namespace sheriff::core

@@ -1,0 +1,55 @@
+#pragma once
+// Alert scheme (Sec. IV-C): the seriousness of a VM's predicted condition,
+//
+//   ALERT = max(W)  if any component of the predicted profile W exceeds
+//                   THRESHOLD,
+//           0       otherwise,
+//
+// plus the three alert events of Sec. III-B that a shim reacts to: host
+// overload, local ToR uplink congestion, and outer-switch congestion.
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/entities.hpp"
+#include "workload/profile.hpp"
+#include "workload/vm.hpp"
+
+namespace sheriff::core {
+
+enum class AlertSource : std::uint8_t {
+  kHost,         ///< overloaded server in the shim's rack
+  kLocalTor,     ///< the rack's own ToR uplink is congesting
+  kOuterSwitch,  ///< congestion feedback from an aggregation/core switch
+};
+
+const char* to_string(AlertSource source) noexcept;
+
+struct Alert {
+  AlertSource source = AlertSource::kHost;
+  topo::RackId rack = topo::kInvalidRack;  ///< shim the alert is addressed to
+  topo::NodeId node = topo::kInvalidNode;  ///< host / ToR / outer switch
+  double value = 0.0;                      ///< magnitude (load %, utilization, ...)
+};
+
+/// Computes per-VM alert magnitudes from predicted workload profiles.
+class AlertScheme {
+ public:
+  explicit AlertScheme(double threshold = 0.9);
+
+  /// ALERT^k_ij per the scheme above. `predicted` must already be the
+  /// T-seconds-ahead profile.
+  [[nodiscard]] double vm_alert(const wl::WorkloadProfile& predicted) const noexcept;
+
+  /// True when the alert fires.
+  [[nodiscard]] bool fires(const wl::WorkloadProfile& predicted) const noexcept {
+    return vm_alert(predicted) > 0.0;
+  }
+
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace sheriff::core

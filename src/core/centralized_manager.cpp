@@ -1,0 +1,21 @@
+#include "core/centralized_manager.hpp"
+
+namespace sheriff::core {
+
+CentralizedManager::CentralizedManager(wl::Deployment& deployment,
+                                       mig::MigrationCostModel& cost_model,
+                                       SheriffConfig config)
+    : deployment_(&deployment), cost_model_(&cost_model), config_(config),
+      all_hosts_(deployment.topology().nodes_of_kind(topo::NodeKind::kHost)) {}
+
+MigrationPlan CentralizedManager::migrate(std::vector<wl::VmId> alerted) {
+  // The centralized manager owns every destination, so the REQUEST
+  // handshake always addresses the correct delegate (itself); reuse the
+  // broker machinery for the capacity bookkeeping.
+  mig::AdmissionBroker broker(*deployment_);
+  VmMigrationScheduler scheduler(*deployment_, *cost_model_, broker,
+                                 config_.max_matching_rounds);
+  return scheduler.migrate(std::move(alerted), all_hosts_);
+}
+
+}  // namespace sheriff::core

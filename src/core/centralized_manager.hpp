@@ -1,0 +1,33 @@
+#pragma once
+// Centralized baseline (the "global optimal centralized manager" of
+// Fig. 11–14): one controller with global knowledge gathers every alerted
+// VM in the DCN and solves a single assignment over *all* hosts with the
+// Hungarian algorithm — the exact optimum of the one-round matching
+// problem — at the price of a search space that scans the entire fabric.
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/vm_migration.hpp"
+#include "migration/cost_model.hpp"
+#include "migration/request.hpp"
+#include "workload/deployment.hpp"
+
+namespace sheriff::core {
+
+class CentralizedManager {
+ public:
+  CentralizedManager(wl::Deployment& deployment, mig::MigrationCostModel& cost_model,
+                     SheriffConfig config = {});
+
+  /// Migrates the alerted VMs using the full host set as candidates.
+  MigrationPlan migrate(std::vector<wl::VmId> alerted);
+
+ private:
+  wl::Deployment* deployment_;
+  mig::MigrationCostModel* cost_model_;
+  SheriffConfig config_;
+  std::vector<topo::NodeId> all_hosts_;
+};
+
+}  // namespace sheriff::core

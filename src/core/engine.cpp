@@ -1,0 +1,284 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace sheriff::core {
+
+DistributedEngine::DistributedEngine(const topo::Topology& topo,
+                                     const wl::DeploymentOptions& deployment_options,
+                                     EngineConfig config)
+    : topo_(&topo),
+      config_(config),
+      deployment_(topo, deployment_options),
+      router_(topo),
+      rerouter_(router_),
+      queues_(topo),
+      cost_model_(topo, deployment_, config.sheriff.cost) {
+  shims_.reserve(topo.rack_count());
+  for (topo::RackId r = 0; r < topo.rack_count(); ++r) {
+    shims_.emplace_back(r, topo, config.sheriff);
+  }
+  predictors_.reserve(deployment_.vm_count());
+  for (std::size_t i = 0; i < deployment_.vm_count(); ++i) {
+    predictors_.push_back(make_predictor());
+  }
+  predicted_.resize(deployment_.vm_count());
+  tor_utilization_predictors_.resize(topo.rack_count());
+  tor_queue_predictors_.resize(topo.rack_count());
+  build_flows();
+}
+
+std::unique_ptr<ProfilePredictor> DistributedEngine::make_predictor() const {
+  switch (config_.predictor) {
+    case PredictorKind::kHolt: return std::make_unique<HoltProfilePredictor>();
+    case PredictorKind::kEnsemble: return std::make_unique<EnsembleProfilePredictor>();
+    case PredictorKind::kNaive: return std::make_unique<NaiveProfilePredictor>();
+  }
+  SHERIFF_REQUIRE(false, "unknown predictor kind");
+  return nullptr;
+}
+
+void DistributedEngine::build_flows() {
+  // One flow per dependency edge (a < b to avoid duplicates): dependent
+  // VMs communicate, and their traffic feature drives the demand.
+  const auto& deps = deployment_.dependencies();
+  for (wl::VmId a = 0; a < deployment_.vm_count(); ++a) {
+    for (wl::VmId b : deps.neighbors(a)) {
+      if (a >= b) continue;
+      net::Flow flow;
+      flow.id = static_cast<net::FlowId>(flows_.size());
+      flow.src_host = deployment_.vm(a).host;
+      flow.dst_host = deployment_.vm(b).host;
+      flow.delay_sensitive =
+          deployment_.vm(a).delay_sensitive || deployment_.vm(b).delay_sensitive;
+      flows_.push_back(std::move(flow));
+      flow_owner_.push_back(a);
+      flow_peer_.push_back(b);
+    }
+  }
+  router_.route_all(flows_);
+}
+
+void DistributedEngine::update_flow_demands() {
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const double trf = deployment_.vm(flow_owner_[f]).profile[wl::Feature::kTraffic];
+    flows_[f].demand_gbps = config_.flow_demand_scale_gbps * trf;
+  }
+}
+
+void DistributedEngine::observe_and_predict() {
+  auto& pool = common::default_pool();
+  const auto work = [&](std::size_t i) {
+    predictors_[i]->observe(deployment_.vm(static_cast<wl::VmId>(i)).profile);
+    predicted_[i] = predictors_[i]->ready()
+                        ? predictors_[i]->predict(config_.sheriff.prediction_horizon)
+                        : deployment_.vm(static_cast<wl::VmId>(i)).profile;
+  };
+  if (config_.parallel_collect && deployment_.vm_count() > 256) {
+    common::parallel_for(pool, deployment_.vm_count(), work);
+  } else {
+    for (std::size_t i = 0; i < deployment_.vm_count(); ++i) work(i);
+  }
+}
+
+std::vector<wl::VmId> DistributedEngine::alerted_vms() const {
+  const AlertScheme scheme(config_.sheriff.vm_alert_threshold);
+  std::vector<wl::VmId> out;
+  for (std::size_t i = 0; i < predicted_.size(); ++i) {
+    if (scheme.fires(predicted_[i])) out.push_back(static_cast<wl::VmId>(i));
+  }
+  return out;
+}
+
+RoundMetrics DistributedEngine::run_round() {
+  RoundMetrics metrics;
+  metrics.round = round_++;
+
+  // 1. Workloads evolve; flows track the new traffic levels and any
+  //    migrated endpoints.
+  deployment_.advance();
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    net::Flow& flow = flows_[f];
+    const topo::NodeId src = deployment_.vm(flow_owner_[f]).host;
+    const topo::NodeId dst = deployment_.vm(flow_peer_[f]).host;
+    if (flow.src_host != src || flow.dst_host != dst) {
+      flow.src_host = src;
+      flow.dst_host = dst;
+      flow.path.clear();
+    }
+  }
+  update_flow_demands();
+  for (net::Flow& flow : flows_) {
+    if (!flow.routed()) router_.route(flow);
+  }
+
+  // 2. Network state: fair share + queue/QCN update, then the end-host
+  //    reaction point adjusts rate limits for the next period.
+  auto shares = net::max_min_fair_share(*topo_, flows_);
+  queues_.update(shares, flows_);
+  if (config_.qcn_rate_control) {
+    rate_controller_.update(flows_, queues_);
+    metrics.rate_limited_flows = rate_controller_.tracked_flows();
+  }
+  const auto congested = queues_.congested_switches();
+  metrics.congested_switches = congested.size();
+  for (double u : shares.link_utilization) {
+    metrics.max_link_utilization = std::max(metrics.max_link_utilization, u);
+  }
+  const auto qos = net::compute_qos_stats(flows_);
+  metrics.flow_satisfaction = qos.mean_satisfaction;
+  metrics.flow_fairness = qos.jain_fairness;
+
+  // 3. Prediction + alert collection (parallel across racks).
+  observe_and_predict();
+  metrics.workload_stddev_before = deployment_.workload_stddev();
+  metrics.workload_mean = deployment_.workload_mean();
+
+  // Pre-filter congestion feedback per rack: scan flows once, not per shim.
+  std::vector<std::vector<topo::NodeId>> rack_hot(topo_->rack_count());
+  if (!congested.empty()) {
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      if (!flows_[f].routed()) continue;
+      const topo::RackId owner_rack = topo_->node(flows_[f].src_host).rack;
+      for (topo::NodeId sw : congested) {
+        if (!flows_[f].transits(sw)) continue;
+        auto& list = rack_hot[owner_rack];
+        if (std::find(list.begin(), list.end(), sw) == list.end()) list.push_back(sw);
+      }
+    }
+  }
+
+  // Per-rack ToR signal prediction (Sec. IV-A): feed this round's uplink
+  // utilization and queue length into the scalar predictors, then hand the
+  // shims their T-ahead extrapolations.
+  const double fleet_mean = deployment_.workload_mean();
+  std::vector<ShimController::Observation> observations(shims_.size());
+  for (topo::RackId r = 0; r < topo_->rack_count(); ++r) {
+    const topo::NodeId tor = topo_->rack(r).tor;
+    double utilization = 0.0;
+    for (topo::LinkId l : topo_->links_of(tor)) {
+      const topo::NodeId other = topo_->peer(l, tor);
+      if (!topo::is_switch(topo_->node(other).kind)) continue;
+      utilization = std::max(utilization, shares.link_utilization[l]);
+    }
+    tor_utilization_predictors_[r].observe(utilization);
+    tor_queue_predictors_[r].observe(queues_.queue_length(tor));
+
+    auto& obs = observations[r];
+    obs.shares = &shares;
+    obs.hot_switches = rack_hot[r];
+    obs.fleet_mean_load_percent = fleet_mean;
+    obs.tor_queue_equilibrium = queues_.config().equilibrium_queue;
+    if (tor_utilization_predictors_[r].ready()) {
+      obs.predicted_tor_utilization = std::max(
+          0.0, tor_utilization_predictors_[r].predict(config_.sheriff.prediction_horizon));
+      obs.predicted_tor_queue = std::max(
+          0.0, tor_queue_predictors_[r].predict(config_.sheriff.prediction_horizon));
+    }
+  }
+
+  std::vector<ShimCollectResult> collected(shims_.size());
+  {
+    const auto work = [&](std::size_t s) {
+      collected[s] = shims_[s].collect(deployment_, predicted_, observations[s]);
+    };
+    if (config_.parallel_collect && shims_.size() > 8) {
+      common::parallel_for(common::default_pool(), shims_.size(), work);
+    } else {
+      for (std::size_t s = 0; s < shims_.size(); ++s) work(s);
+    }
+  }
+
+  // 4. Management actions.
+  cost_model_.set_bandwidth_state(&shares);
+  if (config_.mode == ManagerMode::kSheriff) {
+    const auto account_plan = [&metrics](const MigrationPlan& plan) {
+      metrics.migrations += plan.moves.size();
+      metrics.migration_requests += plan.requests;
+      metrics.migration_rejects += plan.rejects;
+      metrics.migration_cost += plan.total_cost;
+      metrics.search_space += plan.search_space;
+      metrics.migration_seconds += plan.total_duration_seconds;
+      metrics.migration_downtime_seconds += plan.total_downtime_seconds;
+    };
+    if (config_.protocol == MigrationProtocol::kMessagePassing) {
+      // Alert dispatch + FLOWREROUTE per shim (serial: reroutes touch the
+      // shared flow table), then one distributed propose/decide/apply run.
+      std::vector<MigrationDemand> demands;
+      for (std::size_t s = 0; s < shims_.size(); ++s) {
+        auto selection = shims_[s].select(collected[s], deployment_, predicted_, rerouter_,
+                                          flows_, flow_owner_);
+        metrics.host_alerts += selection.host_alerts;
+        metrics.tor_alerts += selection.tor_alerts;
+        metrics.switch_alerts += selection.switch_alerts;
+        metrics.reroutes += selection.reroutes.rerouted;
+        if (!selection.migration_set.empty()) {
+          demands.push_back({shims_[s].rack(), std::move(selection.migration_set),
+                             shims_[s].migration_targets(deployment_)});
+        }
+      }
+      DistributedMigrationProtocol protocol(
+          deployment_, cost_model_, config_.sheriff,
+          config_.parallel_collect ? &common::default_pool() : nullptr);
+      const auto outcome = protocol.run(std::move(demands));
+      account_plan(outcome.plan);
+      metrics.protocol_conflicts += outcome.conflicts;
+      metrics.protocol_iterations = outcome.iterations;
+    } else {
+      mig::AdmissionBroker broker(deployment_);
+      for (std::size_t s = 0; s < shims_.size(); ++s) {
+        const auto result = shims_[s].act(collected[s], deployment_, predicted_, cost_model_,
+                                          broker, rerouter_, flows_, flow_owner_);
+        metrics.host_alerts += result.host_alerts;
+        metrics.tor_alerts += result.tor_alerts;
+        metrics.switch_alerts += result.switch_alerts;
+        metrics.reroutes += result.reroutes.rerouted;
+        account_plan(result.plan);
+      }
+    }
+  } else {
+    // Centralized: the same per-rack alert collection feeds one global
+    // manager; host alerts of every rack are gathered through PRIORITY's
+    // single-VM rule applied per host, ToR/switch alerts per rack.
+    std::vector<wl::VmId> global_set;
+    for (std::size_t s = 0; s < shims_.size(); ++s) {
+      for (const Alert& alert : collected[s].alerts) {
+        metrics.host_alerts += alert.source == AlertSource::kHost ? 1 : 0;
+        metrics.tor_alerts += alert.source == AlertSource::kLocalTor ? 1 : 0;
+        metrics.switch_alerts += alert.source == AlertSource::kOuterSwitch ? 1 : 0;
+      }
+      // The global manager migrates every VM whose own ALERT fired.
+      for (std::size_t i = 0; i < collected[s].rack_vms.size(); ++i) {
+        if (collected[s].vm_alert_values[i] > 0.0 &&
+            !deployment_.vm(collected[s].rack_vms[i]).delay_sensitive) {
+          global_set.push_back(collected[s].rack_vms[i]);
+        }
+      }
+    }
+    CentralizedManager manager(deployment_, cost_model_, config_.sheriff);
+    const auto plan = manager.migrate(std::move(global_set));
+    metrics.migrations += plan.moves.size();
+    metrics.migration_requests += plan.requests;
+    metrics.migration_rejects += plan.rejects;
+    metrics.migration_cost += plan.total_cost;
+    metrics.search_space += plan.search_space;
+    metrics.migration_seconds += plan.total_duration_seconds;
+    metrics.migration_downtime_seconds += plan.total_downtime_seconds;
+  }
+  cost_model_.set_bandwidth_state(nullptr);
+
+  metrics.workload_stddev_after = deployment_.workload_stddev();
+  return metrics;
+}
+
+std::vector<RoundMetrics> DistributedEngine::run(std::size_t rounds) {
+  std::vector<RoundMetrics> out;
+  out.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) out.push_back(run_round());
+  return out;
+}
+
+}  // namespace sheriff::core

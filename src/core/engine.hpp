@@ -1,0 +1,140 @@
+#pragma once
+// DistributedEngine: the round-based simulation driver tying everything
+// together. Every round (one management period T):
+//
+//   1. VM workloads evolve (trace-driven) and flows update their demands.
+//   2. The fair-share allocator produces link loads; switch queues update
+//      and emit QCN congestion feedback.
+//   3. Every VM's predictor observes the new sample; shims *collect*
+//      alerts from the T-ahead predictions — in parallel, one task per
+//      rack, since collection is read-only.
+//   4. Shims *act* (Alg. 1): FLOWREROUTE + VMMIGRATION through the FCFS
+//      admission broker; actions are serialized across shims, which is
+//      exactly the message-passing semantics of Alg. 3/4.
+//
+// The same engine can run in centralized mode, where one manager with the
+// global view processes the union of all alerts against all hosts — the
+// baseline of Fig. 11–14.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/centralized_manager.hpp"
+#include "core/config.hpp"
+#include "core/predictor.hpp"
+#include "core/protocol.hpp"
+#include "core/shim_controller.hpp"
+#include "core/vm_migration.hpp"
+#include "migration/cost_model.hpp"
+#include "net/fair_share.hpp"
+#include "net/queueing.hpp"
+#include "net/flow_stats.hpp"
+#include "net/rate_control.hpp"
+#include "net/reroute.hpp"
+#include "net/routing.hpp"
+#include "topology/topology.hpp"
+#include "workload/deployment.hpp"
+
+namespace sheriff::core {
+
+enum class ManagerMode : std::uint8_t {
+  kSheriff,      ///< regional shims (the paper's scheme)
+  kCentralized,  ///< one global manager (the baseline)
+};
+
+enum class MigrationProtocol : std::uint8_t {
+  kMessagePassing,  ///< propose/decide/apply rounds with per-rack delegates
+                    ///< (the paper's distributed REQUEST/ACK; default)
+  kSerializedFcfs,  ///< shims act one after another through one broker
+};
+
+enum class PredictorKind : std::uint8_t {
+  kHolt,      ///< cheap double-exponential smoothing (default at scale)
+  kEnsemble,  ///< full ARIMA+NARNET dynamic selection (small scenarios)
+  kNaive,     ///< no prediction (contingency baseline for ablations)
+};
+
+struct EngineConfig {
+  SheriffConfig sheriff;
+  ManagerMode mode = ManagerMode::kSheriff;
+  MigrationProtocol protocol = MigrationProtocol::kMessagePassing;
+  PredictorKind predictor = PredictorKind::kHolt;
+  double flow_demand_scale_gbps = 0.4;  ///< demand per dependency edge at TRF=1
+  bool parallel_collect = true;         ///< run shim collection on the thread pool
+  bool qcn_rate_control = true;         ///< end-host reaction to QCN feedback (Sec. III-A.2)
+};
+
+struct RoundMetrics {
+  std::size_t round = 0;
+  double workload_stddev_before = 0.0;  ///< Fig. 9/10 metric, pre-management
+  double workload_stddev_after = 0.0;   ///< ... post-management
+  double workload_mean = 0.0;
+  std::size_t host_alerts = 0;
+  std::size_t tor_alerts = 0;
+  std::size_t switch_alerts = 0;
+  std::size_t migrations = 0;
+  std::size_t migration_requests = 0;
+  std::size_t migration_rejects = 0;
+  std::size_t reroutes = 0;
+  double migration_cost = 0.0;     ///< Fig. 11/13 metric
+  std::size_t search_space = 0;    ///< Fig. 12/14 metric
+  double max_link_utilization = 0.0;
+  std::size_t congested_switches = 0;
+  std::size_t rate_limited_flows = 0;      ///< flows under a QCN cut this round
+  double flow_satisfaction = 1.0;          ///< mean allocated/demand over offered flows
+  double flow_fairness = 1.0;              ///< Jain's index over allocated rates
+  std::size_t protocol_conflicts = 0;      ///< same-round reservation races resolved
+  std::size_t protocol_iterations = 0;     ///< propose/decide/apply rounds used
+  double migration_seconds = 0.0;          ///< summed live-migration wall time
+  double migration_downtime_seconds = 0.0; ///< summed stop&copy suspensions
+};
+
+class DistributedEngine {
+ public:
+  /// The topology must outlive the engine.
+  DistributedEngine(const topo::Topology& topo, const wl::DeploymentOptions& deployment_options,
+                    EngineConfig config);
+
+  /// Runs one management round; returns its metrics.
+  RoundMetrics run_round();
+  /// Runs `rounds` rounds.
+  std::vector<RoundMetrics> run(std::size_t rounds);
+
+  [[nodiscard]] const topo::Topology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] const wl::Deployment& deployment() const noexcept { return deployment_; }
+  [[nodiscard]] std::span<const net::Flow> flows() const noexcept { return flows_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t rounds_run() const noexcept { return round_; }
+
+  /// Force-collects the alerted VM set of the *current* state (used by
+  /// benches that want to hand the same alerts to both manager modes).
+  [[nodiscard]] std::vector<wl::VmId> alerted_vms() const;
+
+ private:
+  void build_flows();
+  void update_flow_demands();
+  void observe_and_predict();
+  [[nodiscard]] std::unique_ptr<ProfilePredictor> make_predictor() const;
+
+  const topo::Topology* topo_;
+  EngineConfig config_;
+  wl::Deployment deployment_;
+  net::Router router_;
+  net::FlowRerouter rerouter_;
+  net::SwitchQueues queues_;
+  net::QcnRateController rate_controller_;
+  mig::MigrationCostModel cost_model_;
+  std::vector<ShimController> shims_;
+  std::vector<net::Flow> flows_;
+  std::vector<wl::VmId> flow_owner_;  ///< source VM of each flow
+  std::vector<wl::VmId> flow_peer_;   ///< destination VM of each flow
+  std::vector<std::unique_ptr<ProfilePredictor>> predictors_;  ///< by VmId
+  std::vector<wl::WorkloadProfile> predicted_;                 ///< by VmId
+  std::vector<HoltScalar> tor_utilization_predictors_;         ///< by RackId
+  std::vector<HoltScalar> tor_queue_predictors_;               ///< by RackId
+  std::size_t round_ = 0;
+};
+
+}  // namespace sheriff::core

@@ -1,0 +1,119 @@
+#include "core/kmedian_planner.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/floyd_warshall.hpp"
+#include "migration/request.hpp"
+
+namespace sheriff::core {
+
+KMedianPlanner::KMedianPlanner(const topo::Topology& topo, bool use_floyd_warshall)
+    : topo_(&topo), distances_(topo.rack_count()) {
+  SHERIFF_REQUIRE(topo.rack_count() >= 1, "topology has no racks");
+  // Rack-to-rack costs are wired shortest-path distances between the
+  // racks' ToRs over the full network graph (hosts included — in BCube the
+  // inter-rack paths run through server NICs). The paper builds the rack
+  // multigraph T and collapses it with Floyd–Warshall; running APSP /
+  // per-ToR Dijkstra on the node graph and restricting to ToR rows yields
+  // the same complete metric T'.
+  const graph::Graph g = topo.wired_graph(topo::EdgeWeight::kDistance);
+  if (use_floyd_warshall) {
+    // The paper's original pipeline; O(|V|^3), test/small-scale only.
+    const auto apsp = graph::floyd_warshall(g);
+    for (topo::RackId r = 0; r < topo.rack_count(); ++r) {
+      for (topo::RackId c = 0; c < topo.rack_count(); ++c) {
+        distances_.set(r, c, apsp.distance.at(topo.rack(r).tor, topo.rack(c).tor));
+      }
+    }
+  } else {
+    for (topo::RackId r = 0; r < topo.rack_count(); ++r) {
+      const auto tree = graph::dijkstra(g, topo.rack(r).tor);
+      for (topo::RackId c = 0; c < topo.rack_count(); ++c) {
+        distances_.set(r, c, tree.distance[topo.rack(c).tor]);
+      }
+    }
+  }
+  SHERIFF_REQUIRE(distances_.all_finite(), "rack graph is disconnected");
+}
+
+graph::KMedianInstance KMedianPlanner::make_instance(
+    const std::vector<topo::RackId>& source_racks, std::size_t k) const {
+  graph::KMedianInstance instance;
+  instance.distance = &distances_;
+  instance.k = k;
+  instance.clients.assign(source_racks.begin(), source_racks.end());
+  instance.facilities.resize(topo_->rack_count());
+  for (std::size_t r = 0; r < topo_->rack_count(); ++r) instance.facilities[r] = r;
+  return instance;
+}
+
+KMedianPlan KMedianPlanner::plan(const std::vector<topo::RackId>& source_racks, std::size_t k,
+                                 std::size_t p) const {
+  const auto instance = make_instance(source_racks, k);
+  const auto solution = graph::local_search_kmedian(instance, p);
+  KMedianPlan out;
+  out.destinations.assign(solution.medians.begin(), solution.medians.end());
+  out.connection_cost = solution.cost;
+  out.evaluations = solution.evaluations;
+  return out;
+}
+
+KMedianPlan KMedianPlanner::plan_exact(const std::vector<topo::RackId>& source_racks,
+                                       std::size_t k) const {
+  const auto instance = make_instance(source_racks, k);
+  const auto solution = graph::exhaustive_kmedian(instance);
+  KMedianPlan out;
+  out.destinations.assign(solution.medians.begin(), solution.medians.end());
+  out.connection_cost = solution.cost;
+  out.evaluations = solution.evaluations;
+  return out;
+}
+
+KMedianMigrationManager::KMedianMigrationManager(wl::Deployment& deployment,
+                                                 mig::MigrationCostModel& cost_model,
+                                                 const KMedianPlanner& planner)
+    : KMedianMigrationManager(deployment, cost_model, planner, Options{}) {}
+
+KMedianMigrationManager::KMedianMigrationManager(wl::Deployment& deployment,
+                                                 mig::MigrationCostModel& cost_model,
+                                                 const KMedianPlanner& planner,
+                                                 Options options)
+    : deployment_(&deployment), cost_model_(&cost_model), planner_(&planner),
+      options_(options) {
+  SHERIFF_REQUIRE(options.destination_racks >= 1, "need at least one destination rack");
+  SHERIFF_REQUIRE(options.local_search_p >= 1, "swap size must be at least 1");
+}
+
+MigrationPlan KMedianMigrationManager::migrate(std::vector<wl::VmId> alerted) {
+  MigrationPlan plan;
+  last_destinations_.clear();
+  if (alerted.empty()) return plan;
+  const topo::Topology& topo = deployment_->topology();
+
+  // Source ToRs: the racks the alerted VMs live in.
+  std::vector<topo::RackId> sources;
+  for (wl::VmId id : alerted) {
+    const topo::RackId r = topo.node(deployment_->vm(id).host).rack;
+    if (std::find(sources.begin(), sources.end(), r) == sources.end()) sources.push_back(r);
+  }
+
+  const std::size_t k = std::min(options_.destination_racks, topo.rack_count());
+  const auto selection = planner_->plan(sources, k, options_.local_search_p);
+  last_destinations_ = selection.destinations;
+  plan.search_space += selection.evaluations;
+
+  std::vector<topo::NodeId> targets;
+  for (topo::RackId r : selection.destinations) {
+    const auto& hosts = topo.rack(r).hosts;
+    targets.insert(targets.end(), hosts.begin(), hosts.end());
+  }
+
+  mig::AdmissionBroker broker(*deployment_);
+  VmMigrationScheduler scheduler(*deployment_, *cost_model_, broker);
+  plan.merge(scheduler.migrate(std::move(alerted), targets));
+  return plan;
+}
+
+}  // namespace sheriff::core

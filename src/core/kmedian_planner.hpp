@@ -1,0 +1,100 @@
+#pragma once
+// Sec. V-A: the reduction of (centralized) VMMIGRATION to k-median.
+//
+//   1. Build the rack graph T (vertices = racks, edge costs = wired
+//      connection costs between rack ToRs).
+//   2. Collapse it to a complete metric T' by all-pairs shortest paths
+//      (the paper uses Floyd–Warshall; we expose that and an equivalent
+//      per-ToR Dijkstra sweep that is much cheaper on large fabrics).
+//   3. Treat the alerting source ToRs as clients, all ToRs as facilities,
+//      and solve k-median with the Alg. 5 local search (ratio 3 + 2/p).
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/kmedian.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::core {
+
+struct KMedianPlan {
+  std::vector<topo::RackId> destinations;  ///< the chosen m destination ToRs
+  double connection_cost = 0.0;            ///< Σ_clients dist(client, nearest dest)
+  std::size_t evaluations = 0;             ///< local-search solutions examined
+};
+
+class KMedianPlanner {
+ public:
+  /// Precomputes the rack-level distance matrix of T'. `use_floyd_warshall`
+  /// selects the paper's original pipeline (builds the rack multigraph and
+  /// runs FW); the default Dijkstra sweep produces identical distances.
+  explicit KMedianPlanner(const topo::Topology& topo, bool use_floyd_warshall = false);
+
+  /// d(T')(i, j) between two racks.
+  [[nodiscard]] const graph::DistanceMatrix& rack_distances() const noexcept {
+    return distances_;
+  }
+
+  /// Chooses `k` destination racks for the given alerting source racks
+  /// with local-search swap size `p`.
+  [[nodiscard]] KMedianPlan plan(const std::vector<topo::RackId>& source_racks, std::size_t k,
+                                 std::size_t p) const;
+
+  /// Exhaustive optimum for ratio experiments (small instances only).
+  [[nodiscard]] KMedianPlan plan_exact(const std::vector<topo::RackId>& source_racks,
+                                       std::size_t k) const;
+
+ private:
+  [[nodiscard]] graph::KMedianInstance make_instance(
+      const std::vector<topo::RackId>& source_racks, std::size_t k) const;
+
+  const topo::Topology* topo_;
+  graph::DistanceMatrix distances_;
+};
+
+}  // namespace sheriff::core
+
+#include "core/vm_migration.hpp"
+#include "migration/cost_model.hpp"
+
+namespace sheriff::core {
+
+/// The full Sec. V-A centralized strategy: reduce VMMIGRATION to k-median
+/// — pick `destination_racks` medians among all ToRs for the alerting
+/// source ToRs with the Alg. 5 local search — then match the alerted VMs
+/// onto the chosen racks' hosts by minimal weighted matching. Its search
+/// space is the local-search evaluations plus the (much smaller) matching
+/// over the chosen racks only, trading a bounded approximation factor for
+/// a far smaller scan than the exhaustive global matching.
+class KMedianMigrationManager {
+ public:
+  struct Options {
+    std::size_t destination_racks = 4;  ///< k medians to open
+    std::size_t local_search_p = 2;     ///< Alg. 5 swap size
+  };
+
+  /// The planner must be built over the same topology as the deployment.
+  KMedianMigrationManager(wl::Deployment& deployment, mig::MigrationCostModel& cost_model,
+                          const KMedianPlanner& planner);
+  KMedianMigrationManager(wl::Deployment& deployment, mig::MigrationCostModel& cost_model,
+                          const KMedianPlanner& planner, Options options);
+
+  /// Migrates the alerted VMs into the k chosen destination racks. The
+  /// returned plan's search_space includes the k-median evaluations.
+  MigrationPlan migrate(std::vector<wl::VmId> alerted);
+
+  /// The destination racks chosen by the most recent migrate() call.
+  [[nodiscard]] const std::vector<topo::RackId>& last_destinations() const noexcept {
+    return last_destinations_;
+  }
+
+ private:
+  wl::Deployment* deployment_;
+  mig::MigrationCostModel* cost_model_;
+  const KMedianPlanner* planner_;
+  Options options_;
+  std::vector<topo::RackId> last_destinations_;
+};
+
+}  // namespace sheriff::core

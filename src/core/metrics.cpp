@@ -1,0 +1,64 @@
+#include "core/metrics.hpp"
+
+#include <ostream>
+
+namespace sheriff::core {
+
+common::Table metrics_table(std::span<const RoundMetrics> rounds) {
+  common::Table table({"round", "stddev_before", "stddev_after", "mean_load", "host_alerts",
+                       "tor_alerts", "switch_alerts", "migrations", "requests", "rejects",
+                       "reroutes", "migration_cost", "search_space", "max_link_util",
+                       "congested_switches", "rate_limited_flows", "flow_satisfaction",
+                       "flow_fairness", "migration_s", "downtime_s"});
+  for (const auto& m : rounds) {
+    table.begin_row()
+        .add(m.round)
+        .add(m.workload_stddev_before, 3)
+        .add(m.workload_stddev_after, 3)
+        .add(m.workload_mean, 3)
+        .add(m.host_alerts)
+        .add(m.tor_alerts)
+        .add(m.switch_alerts)
+        .add(m.migrations)
+        .add(m.migration_requests)
+        .add(m.migration_rejects)
+        .add(m.reroutes)
+        .add(m.migration_cost, 2)
+        .add(m.search_space)
+        .add(m.max_link_utilization, 3)
+        .add(m.congested_switches)
+        .add(m.rate_limited_flows)
+        .add(m.flow_satisfaction, 3)
+        .add(m.flow_fairness, 3)
+        .add(m.migration_seconds, 2)
+        .add(m.migration_downtime_seconds, 4);
+  }
+  return table;
+}
+
+void write_metrics_csv(std::ostream& os, std::span<const RoundMetrics> rounds) {
+  metrics_table(rounds).print_csv(os);
+}
+
+RunSummary summarize(std::span<const RoundMetrics> rounds) {
+  RunSummary summary;
+  summary.rounds = rounds.size();
+  if (rounds.empty()) return summary;
+  summary.first_stddev = rounds.front().workload_stddev_before;
+  summary.last_stddev = rounds.back().workload_stddev_after;
+  double peak_acc = 0.0;
+  for (const auto& m : rounds) {
+    summary.total_alerts += m.host_alerts + m.tor_alerts + m.switch_alerts;
+    summary.total_migrations += m.migrations;
+    summary.total_reroutes += m.reroutes;
+    summary.total_migration_cost += m.migration_cost;
+    summary.total_migration_seconds += m.migration_seconds;
+    summary.total_downtime_seconds += m.migration_downtime_seconds;
+    summary.total_search_space += m.search_space;
+    peak_acc += m.max_link_utilization;
+  }
+  summary.mean_link_peak = peak_acc / static_cast<double>(rounds.size());
+  return summary;
+}
+
+}  // namespace sheriff::core

@@ -1,0 +1,36 @@
+#pragma once
+// Round-metrics utilities: tabulation, CSV export, and aggregate summaries
+// over a run — so benches, examples, and downstream users consume the
+// engine's output uniformly.
+
+#include <iosfwd>
+#include <span>
+
+#include "common/table.hpp"
+#include "core/engine.hpp"
+
+namespace sheriff::core {
+
+/// All metrics of a run as an aligned table (one row per round).
+common::Table metrics_table(std::span<const RoundMetrics> rounds);
+
+/// CSV with a header row; loads directly into pandas / gnuplot.
+void write_metrics_csv(std::ostream& os, std::span<const RoundMetrics> rounds);
+
+/// Aggregates over a run.
+struct RunSummary {
+  std::size_t rounds = 0;
+  std::size_t total_alerts = 0;
+  std::size_t total_migrations = 0;
+  std::size_t total_reroutes = 0;
+  double total_migration_cost = 0.0;
+  double total_migration_seconds = 0.0;
+  double total_downtime_seconds = 0.0;
+  std::size_t total_search_space = 0;
+  double first_stddev = 0.0;   ///< workload stddev before round 0's management
+  double last_stddev = 0.0;    ///< ... after the final round
+  double mean_link_peak = 0.0; ///< average of per-round max link utilization
+};
+RunSummary summarize(std::span<const RoundMetrics> rounds);
+
+}  // namespace sheriff::core

@@ -1,0 +1,68 @@
+#include "core/priority.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "graph/knapsack.hpp"
+
+namespace sheriff::core {
+
+PrioritySelection priority_select(const wl::Deployment& deployment,
+                                  const std::vector<wl::VmId>& candidates,
+                                  const std::vector<double>& alert_values, PriorityMode mode,
+                                  int capacity_budget) {
+  SHERIFF_REQUIRE(alert_values.empty() || alert_values.size() == candidates.size(),
+                  "alert values must parallel candidates");
+  PrioritySelection selection;
+  if (candidates.empty()) return selection;
+
+  if (mode == PriorityMode::kSingle) {
+    // ω = 1: pick the VM with maximum ALERT (delay-sensitive VMs are still
+    // excluded — they are never migrated).
+    SHERIFF_REQUIRE(!alert_values.empty(), "kSingle needs alert values");
+    std::size_t best = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (deployment.vm(candidates[i]).delay_sensitive) {
+        ++selection.eliminated_delay_sensitive;
+        continue;
+      }
+      if (best == candidates.size() || alert_values[i] > alert_values[best]) best = i;
+    }
+    if (best < candidates.size()) {
+      const auto& vm = deployment.vm(candidates[best]);
+      selection.selected.push_back(candidates[best]);
+      selection.offloaded_capacity = vm.capacity;
+      selection.sacrificed_value = vm.value;
+    }
+    return selection;
+  }
+
+  SHERIFF_REQUIRE(capacity_budget >= 0, "capacity budget must be non-negative");
+
+  // Eliminate delay-sensitive VMs (Alg. 2 line 1), then knapsack the rest.
+  std::vector<wl::VmId> movable;
+  for (wl::VmId id : candidates) {
+    if (deployment.vm(id).delay_sensitive) {
+      ++selection.eliminated_delay_sensitive;
+    } else {
+      movable.push_back(id);
+    }
+  }
+  if (movable.empty() || capacity_budget == 0) return selection;
+
+  std::vector<graph::KnapsackItem> items;
+  items.reserve(movable.size());
+  for (wl::VmId id : movable) {
+    const auto& vm = deployment.vm(id);
+    items.push_back({static_cast<std::size_t>(vm.capacity), vm.value});
+  }
+  const auto knapsack =
+      graph::min_value_knapsack(items, static_cast<std::size_t>(capacity_budget));
+  for (std::size_t idx : knapsack.chosen) selection.selected.push_back(movable[idx]);
+  selection.offloaded_capacity = static_cast<int>(knapsack.total_capacity);
+  selection.sacrificed_value = knapsack.total_value;
+  std::sort(selection.selected.begin(), selection.selected.end());
+  return selection;
+}
+
+}  // namespace sheriff::core

@@ -1,0 +1,41 @@
+#pragma once
+// PRIORITY function (Alg. 2): given the candidate VM set F gathered for an
+// alert, select which VMs to actually move.
+//
+//   * mode kSingle (ω = 1, host alerts): the single VM with the highest
+//     ALERT value — rebalance the end host with one decisive move.
+//   * mode kAlpha / kBeta (switch / ToR alerts): first eliminate
+//     delay-sensitive VMs, then run the min-value knapsack over the budget
+//     C = ω · capacity, picking the set that offloads the most capacity at
+//     the least total value.
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/deployment.hpp"
+
+namespace sheriff::core {
+
+enum class PriorityMode : std::uint8_t {
+  kSingle,  ///< ω = 1: one max-ALERT VM
+  kAlpha,   ///< ω = α: budget α · switch capacity
+  kBeta,    ///< ω = β: budget β · ToR capacity
+};
+
+struct PrioritySelection {
+  std::vector<wl::VmId> selected;
+  int offloaded_capacity = 0;   ///< total capacity units of the selection
+  double sacrificed_value = 0.0;
+  std::size_t eliminated_delay_sensitive = 0;
+};
+
+/// Runs Alg. 2. `alert_values` maps each candidate in `candidates` (same
+/// order) to its ALERT magnitude; only kSingle consults it.
+/// `capacity_budget` is the already-scaled C = ω · capacity in VM capacity
+/// units; ignored by kSingle.
+PrioritySelection priority_select(const wl::Deployment& deployment,
+                                  const std::vector<wl::VmId>& candidates,
+                                  const std::vector<double>& alert_values, PriorityMode mode,
+                                  int capacity_budget);
+
+}  // namespace sheriff::core

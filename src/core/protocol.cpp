@@ -1,0 +1,169 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+#include "migration/live_migration.hpp"
+
+namespace sheriff::core {
+
+namespace {
+
+struct Request {
+  topo::RackId proposer = topo::kInvalidRack;
+  wl::VmId vm = wl::kInvalidVm;
+  topo::NodeId dest = topo::kInvalidNode;
+  double cost = 0.0;
+};
+
+struct Decision {
+  Request request;
+  bool ack = false;
+};
+
+}  // namespace
+
+DistributedMigrationProtocol::DistributedMigrationProtocol(wl::Deployment& deployment,
+                                                           mig::MigrationCostModel& cost_model,
+                                                           SheriffConfig config,
+                                                           common::ThreadPool* pool)
+    : deployment_(&deployment), cost_model_(&cost_model), config_(config), pool_(pool) {}
+
+ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> demands) {
+  ProtocolResult result;
+  const topo::Topology& topo = deployment_->topology();
+
+  // Drop empty demands and dedup VMs within each.
+  std::erase_if(demands, [](const MigrationDemand& d) { return d.vms.empty(); });
+
+  std::vector<std::size_t> search_space_by_demand(demands.size(), 0);
+
+  for (std::size_t iteration = 0; iteration < config_.max_matching_rounds; ++iteration) {
+    bool any_pending = false;
+    for (const auto& d : demands) any_pending |= !d.vms.empty();
+    if (!any_pending) break;
+    ++result.iterations;
+
+    // --- PROPOSE (parallel; read-only against shared state) -------------
+    std::vector<std::vector<ProposedMove>> proposals(demands.size());
+    const auto propose = [&](std::size_t i) {
+      if (demands[i].vms.empty()) return;
+      proposals[i] = propose_matching(*deployment_, *cost_model_, demands[i].vms,
+                                      demands[i].region_targets,
+                                      &search_space_by_demand[i]);
+    };
+    if (pool_ != nullptr && demands.size() > 1) {
+      common::parallel_for(*pool_, demands.size(), propose);
+    } else {
+      for (std::size_t i = 0; i < demands.size(); ++i) propose(i);
+    }
+
+    // --- DELIVER: group requests by destination rack ---------------------
+    std::vector<std::vector<Request>> mailbox(topo.rack_count());
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      for (const auto& p : proposals[i]) {
+        mailbox[topo.node(p.dest).rack].push_back(
+            {demands[i].shim, p.vm, p.dest, p.cost});
+      }
+    }
+
+    // --- DECIDE (parallel per destination delegate, FCFS) ----------------
+    std::vector<std::vector<Decision>> decisions(topo.rack_count());
+    const auto decide = [&](std::size_t rack) {
+      auto& inbox = mailbox[rack];
+      if (inbox.empty()) return;
+      // FCFS: deterministic arrival order (by proposer shim, then VM).
+      std::sort(inbox.begin(), inbox.end(), [](const Request& a, const Request& b) {
+        if (a.proposer != b.proposer) return a.proposer < b.proposer;
+        return a.vm < b.vm;
+      });
+      // Local reservation ledger against the rack's current free capacity.
+      std::vector<std::pair<topo::NodeId, int>> reserved_free;
+      for (topo::NodeId h : topo.rack(static_cast<topo::RackId>(rack)).hosts) {
+        reserved_free.emplace_back(h, deployment_->host_free_capacity(h));
+      }
+      const auto free_of = [&](topo::NodeId h) -> int& {
+        for (auto& [host, free] : reserved_free) {
+          if (host == h) return free;
+        }
+        SHERIFF_REQUIRE(false, "request addressed to a host outside the rack");
+        return reserved_free.front().second;  // unreachable
+      };
+      for (const Request& request : inbox) {
+        Decision decision{request, false};
+        int& free = free_of(request.dest);
+        const auto& vm = deployment_->vm(request.vm);
+        if (free >= vm.capacity && deployment_->can_place(request.vm, request.dest)) {
+          free -= vm.capacity;
+          decision.ack = true;
+        }
+        decisions[rack].push_back(decision);
+      }
+    };
+    std::vector<std::size_t> busy_racks;
+    for (std::size_t r = 0; r < topo.rack_count(); ++r) {
+      if (!mailbox[r].empty()) busy_racks.push_back(r);
+    }
+    if (pool_ != nullptr && busy_racks.size() > 1) {
+      common::parallel_for(*pool_, busy_racks.size(),
+                           [&](std::size_t i) { decide(busy_racks[i]); });
+    } else {
+      for (std::size_t r : busy_racks) decide(r);
+    }
+
+    // --- APPLY (serial, deterministic order) -----------------------------
+    bool progress = false;
+    std::vector<bool> placed(deployment_->vm_count(), false);
+    for (std::size_t rack = 0; rack < topo.rack_count(); ++rack) {
+      for (const Decision& decision : decisions[rack]) {
+        ++result.plan.requests;
+        if (!decision.ack) {
+          ++result.plan.rejects;
+          continue;
+        }
+        const Request& rq = decision.request;
+        // A same-round race (e.g. a dependency partner ACKed onto the same
+        // host by another delegate) can invalidate the reservation: the
+        // loser is a conflict and retries next iteration.
+        if (!deployment_->can_place(rq.vm, rq.dest)) {
+          ++result.conflicts;
+          continue;
+        }
+        mig::LiveMigrationParams timing;
+        const auto& vm = deployment_->vm(rq.vm);
+        timing.memory_gb = 0.25 * static_cast<double>(vm.capacity);
+        timing.dirty_rate_gbps = 0.1 + 0.4 * vm.profile[wl::Feature::kCpu];
+        timing.bandwidth_gbps =
+            std::max(0.05, cost_model_->path_bottleneck_bandwidth(rq.vm, rq.dest));
+        const topo::NodeId from = vm.host;
+        deployment_->move_vm(rq.vm, rq.dest);
+        const auto timeline = mig::simulate_live_migration(timing);
+        result.plan.moves.push_back({rq.vm, from, rq.dest, rq.cost,
+                                     timeline.total_seconds(),
+                                     timeline.t3_downtime_seconds});
+        result.plan.total_cost += rq.cost;
+        result.plan.total_duration_seconds += timeline.total_seconds();
+        result.plan.total_downtime_seconds += timeline.t3_downtime_seconds;
+        placed[rq.vm] = true;
+        progress = true;
+      }
+    }
+
+    // Remove placed VMs from their demands.
+    for (auto& d : demands) {
+      std::erase_if(d.vms, [&](wl::VmId id) { return placed[id]; });
+    }
+    if (!progress) break;
+  }
+
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    result.plan.search_space += search_space_by_demand[i];
+    result.plan.unplaced.insert(result.plan.unplaced.end(), demands[i].vms.begin(),
+                                demands[i].vms.end());
+  }
+  return result;
+}
+
+}  // namespace sheriff::core

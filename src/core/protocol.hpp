@@ -1,0 +1,63 @@
+#pragma once
+// The distributed REQUEST/ACK migration protocol (Alg. 3 + Alg. 4 as a
+// *message-passing* round, the way the paper's shims actually interact):
+//
+//   1. PROPOSE — every shim with a migration set matches its VMs against
+//      its own region (Hungarian on the Eq. (1) costs). Runs in parallel:
+//      this phase only reads shared state.
+//   2. DECIDE — proposals are delivered to the destination racks'
+//      delegates; each delegate serves its mailbox FCFS against its local
+//      reservation ledger (capacity + dependency conflicts) and answers
+//      ACK or REJECT. Delegates are independent, so this runs in parallel
+//      per destination rack.
+//   3. APPLY — ACKed moves are committed. Two shims can win reservations
+//      that turn out incompatible (a dependency partner ACKed onto the
+//      same host in the same round); the commit re-checks and the loser
+//      counts as a conflict and retries next iteration — exactly the
+//      confliction handling Sec. V-B calls for.
+//
+// Iterates until every demand is placed or no progress is possible.
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/vm_migration.hpp"
+#include "migration/cost_model.hpp"
+#include "workload/deployment.hpp"
+
+namespace sheriff::common {
+class ThreadPool;
+}
+
+namespace sheriff::core {
+
+/// One shim's migration demand for the round.
+struct MigrationDemand {
+  topo::RackId shim = topo::kInvalidRack;
+  std::vector<wl::VmId> vms;                ///< PRIORITY-selected candidates
+  std::vector<topo::NodeId> region_targets; ///< the shim's dominating region
+};
+
+struct ProtocolResult {
+  MigrationPlan plan;
+  std::size_t conflicts = 0;   ///< apply-time losses (re-queued)
+  std::size_t iterations = 0;  ///< propose/decide/apply rounds executed
+};
+
+class DistributedMigrationProtocol {
+ public:
+  /// `pool` may be null for single-threaded execution (results identical).
+  DistributedMigrationProtocol(wl::Deployment& deployment,
+                               mig::MigrationCostModel& cost_model, SheriffConfig config,
+                               common::ThreadPool* pool = nullptr);
+
+  ProtocolResult run(std::vector<MigrationDemand> demands);
+
+ private:
+  wl::Deployment* deployment_;
+  mig::MigrationCostModel* cost_model_;
+  SheriffConfig config_;
+  common::ThreadPool* pool_;
+};
+
+}  // namespace sheriff::core

@@ -1,0 +1,126 @@
+#pragma once
+// ShimController: the per-rack delegated manager (Sec. II-B). Each round it
+// runs in two phases:
+//
+//   collect() — read-only and thread-safe: inspect the predicted profiles
+//   of the rack's VMs, the rack's ToR uplink state, and the congestion
+//   feedback from outer switches, producing the round's Alert set (the
+//   input of Alg. 1).
+//
+//   act() — Alg. 1 proper: partition alerts by type, build the candidate
+//   sets F, select VMs with PRIORITY (Alg. 2), reroute flows around hot
+//   outer switches (FLOWREROUTE first — it is cheaper than migration), and
+//   drive VMMIGRATION (Alg. 3) against the one-hop neighbor region. act()
+//   mutates the shared deployment via the admission broker, so the engine
+//   serializes it across shims (FCFS) while collect() runs in parallel.
+
+#include <span>
+#include <vector>
+
+#include "core/alert.hpp"
+#include "core/config.hpp"
+#include "core/vm_migration.hpp"
+#include "net/queueing.hpp"
+#include "net/reroute.hpp"
+#include "topology/topology.hpp"
+#include "workload/deployment.hpp"
+
+namespace sheriff::core {
+
+struct ShimCollectResult {
+  std::vector<Alert> alerts;
+  /// ALERT value of every VM in this rack (parallel to `rack_vms`).
+  std::vector<wl::VmId> rack_vms;
+  std::vector<double> vm_alert_values;
+};
+
+/// The outcome of Alg. 1's alert dispatch before any migration is
+/// scheduled: which VMs to move (M_v), what was rerouted, and the alert
+/// tallies. Feeds either the serialized scheduler (act()) or the
+/// message-passing protocol (DistributedMigrationProtocol).
+struct ShimSelection {
+  std::vector<wl::VmId> migration_set;
+  net::RerouteReport reroutes;
+  std::size_t host_alerts = 0;
+  std::size_t tor_alerts = 0;
+  std::size_t switch_alerts = 0;
+};
+
+struct ShimActResult {
+  MigrationPlan plan;
+  net::RerouteReport reroutes;
+  std::size_t host_alerts = 0;
+  std::size_t tor_alerts = 0;
+  std::size_t switch_alerts = 0;
+};
+
+class ShimController {
+ public:
+  ShimController(topo::RackId rack, const topo::Topology& topo, SheriffConfig config);
+
+  [[nodiscard]] topo::RackId rack() const noexcept { return rack_; }
+
+  /// Destination hosts of the shim's dominating region: the rack's own
+  /// hosts plus every host in a one-hop neighbor rack.
+  [[nodiscard]] std::vector<topo::NodeId> region_target_hosts() const;
+
+  /// Everything a shim observes about the network in one round (filled by
+  /// the engine before the collect phase).
+  struct Observation {
+    const net::FairShareResult* shares = nullptr;
+    /// Congested outer switches some flow of this rack transits (the
+    /// engine pre-filters per rack so the scan over all flows happens
+    /// once, not once per rack).
+    std::span<const topo::NodeId> hot_switches;
+    double fleet_mean_load_percent = 0.0;  ///< for the relative hotspot detector
+    /// T-ahead prediction of the worst ToR uplink utilization (Sec. IV-A:
+    /// the shim forecasts its ToR's state); negative = not available, use
+    /// the current shares instead.
+    double predicted_tor_utilization = -1.0;
+    /// T-ahead prediction of the ToR queue backlog (Gbit); triggers a ToR
+    /// alert when it exceeds the QCN equilibrium. Negative = unavailable.
+    double predicted_tor_queue = -1.0;
+    double tor_queue_equilibrium = 4.0;
+  };
+
+  /// Phase 1 (see file comment). `predicted` is indexed by VmId.
+  [[nodiscard]] ShimCollectResult collect(const wl::Deployment& deployment,
+                                          std::span<const wl::WorkloadProfile> predicted,
+                                          const Observation& observation) const;
+
+  /// Alg. 1's alert dispatch: builds the candidate sets F, runs PRIORITY
+  /// (Alg. 2), reroutes around hot outer switches (FLOWREROUTE first), and
+  /// returns the migration set M_v — without scheduling it. `predicted`
+  /// ranks VMs for the host-alert single-VM selection when no VM crossed
+  /// the ALERT threshold outright. Mutates `flows` (reroutes).
+  ShimSelection select(const ShimCollectResult& collected, const wl::Deployment& deployment,
+                       std::span<const wl::WorkloadProfile> predicted,
+                       const net::FlowRerouter& rerouter, std::span<net::Flow> flows,
+                       std::span<const wl::VmId> flow_owner) const;
+
+  /// select() + the serialized Alg. 3 scheduler against this shim's region
+  /// (the one-shot convenience used by tests and the sweep benches; the
+  /// engine's default path is the message-passing protocol).
+  ShimActResult act(const ShimCollectResult& collected, wl::Deployment& deployment,
+                    std::span<const wl::WorkloadProfile> predicted,
+                    mig::MigrationCostModel& cost_model, mig::AdmissionBroker& broker,
+                    const net::FlowRerouter& rerouter, std::span<net::Flow> flows,
+                    std::span<const wl::VmId> flow_owner) const;
+
+  /// Migration receivers within the region: underloaded hosts first, the
+  /// whole region as fallback.
+  [[nodiscard]] std::vector<topo::NodeId> migration_targets(
+      const wl::Deployment& deployment) const;
+
+ private:
+  /// Predicted load percent of a host from the predicted VM profiles.
+  [[nodiscard]] double predicted_host_load_percent(
+      const wl::Deployment& deployment, topo::NodeId host,
+      std::span<const wl::WorkloadProfile> predicted) const;
+
+  topo::RackId rack_;
+  const topo::Topology* topo_;
+  SheriffConfig config_;
+};
+
+}  // namespace sheriff::core

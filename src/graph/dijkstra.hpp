@@ -1,0 +1,30 @@
+#pragma once
+// Single-source shortest paths. The flow router uses Dijkstra (with ECMP
+// tie tracking) instead of all-pairs Floyd–Warshall when it only needs the
+// paths out of one host.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sheriff::graph {
+
+struct ShortestPathTree {
+  std::vector<double> distance;               ///< from the source
+  std::vector<std::vector<Vertex>> parents;   ///< all tight predecessors (ECMP)
+
+  /// One shortest path source→target (deterministic: lowest-id parents);
+  /// empty if unreachable.
+  [[nodiscard]] std::vector<Vertex> path_to(Vertex target) const;
+
+  /// Number of distinct shortest paths to `target` (capped at `cap` to
+  /// avoid overflow on highly redundant fabrics).
+  [[nodiscard]] std::size_t path_count(Vertex target, std::size_t cap = 1'000'000) const;
+};
+
+/// Dijkstra from `source`; `blocked[v] == true` removes v from the graph
+/// (used by FLOWREROUTE to route around hot switches). `blocked` may be
+/// empty meaning nothing is blocked.
+ShortestPathTree dijkstra(const Graph& g, Vertex source, const std::vector<bool>& blocked = {});
+
+}  // namespace sheriff::graph

@@ -1,0 +1,53 @@
+#include "graph/floyd_warshall.hpp"
+
+#include "common/require.hpp"
+
+namespace sheriff::graph {
+
+std::vector<Vertex> ApspResult::path(Vertex from, Vertex to) const {
+  std::vector<Vertex> out;
+  if (from >= next.size() || to >= next.size()) return out;
+  if (from != to && next[from][to] == kNoVertex) return out;
+  out.push_back(from);
+  Vertex cur = from;
+  while (cur != to) {
+    cur = next[cur][to];
+    SHERIFF_REQUIRE(cur != kNoVertex, "broken next-hop chain");
+    out.push_back(cur);
+    SHERIFF_REQUIRE(out.size() <= next.size(), "next-hop cycle detected");
+  }
+  return out;
+}
+
+ApspResult floyd_warshall(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  ApspResult result(n);
+  auto& dist = result.distance;
+
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Edge& e : g.neighbors(u)) {
+      if (e.weight < dist.at(u, e.to)) {
+        dist.set(u, e.to, e.weight);
+        result.next[u][e.to] = e.to;
+      }
+    }
+    result.next[u][u] = u;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = dist.at(i, k);
+      if (dik == kInfiniteDistance) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double candidate = dik + dist.at(k, j);
+        if (candidate < dist.at(i, j)) {
+          dist.set(i, j, candidate);
+          result.next[i][j] = result.next[i][k];
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sheriff::graph

@@ -1,0 +1,29 @@
+#pragma once
+// All-pairs shortest paths. Sec. V-A.2 of the paper collapses the rack
+// multigraph T into a complete cost graph T' with Floyd–Warshall before
+// handing it to the k-median solver; this module implements that step with
+// path reconstruction.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sheriff::graph {
+
+struct ApspResult {
+  DistanceMatrix distance;                 ///< d(i,j); infinity if unreachable
+  std::vector<std::vector<Vertex>> next;   ///< next[i][j]: next hop on i→j path
+
+  explicit ApspResult(std::size_t n) : distance(n), next(n, std::vector<Vertex>(n, kNoVertex)) {}
+
+  static constexpr Vertex kNoVertex = static_cast<Vertex>(-1);
+
+  /// Reconstructs the vertex sequence of a shortest i→j path (inclusive of
+  /// both endpoints); empty if unreachable.
+  [[nodiscard]] std::vector<Vertex> path(Vertex from, Vertex to) const;
+};
+
+/// O(V^3) Floyd–Warshall over the minimum-weight parallel edge of each pair.
+ApspResult floyd_warshall(const Graph& g);
+
+}  // namespace sheriff::graph

@@ -1,0 +1,42 @@
+#pragma once
+// k-median solvers. Sec. V-A reduces VMMIGRATION to k-median on the
+// Floyd–Warshall-completed rack graph T'; Alg. 5 is the Arya et al. local
+// search with swap size p, whose approximation ratio is 3 + 2/p. We
+// implement that local search (for any p), plus an exhaustive solver used
+// as ground truth by the ratio experiments and property tests.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace sheriff::graph {
+
+struct KMedianInstance {
+  const DistanceMatrix* distance = nullptr;  ///< metric over all points
+  std::vector<std::size_t> clients;          ///< demand points (source ToRs)
+  std::vector<std::size_t> facilities;       ///< allowed medians (all ToRs)
+  std::size_t k = 1;                         ///< number of medians to open
+};
+
+struct KMedianSolution {
+  std::vector<std::size_t> medians;   ///< chosen facility ids, size k
+  double cost = 0.0;                  ///< sum over clients of distance to nearest median
+  std::size_t evaluations = 0;        ///< candidate solutions examined (search-space metric)
+};
+
+/// Connection cost of a given median set for the instance.
+double kmedian_cost(const KMedianInstance& instance, const std::vector<std::size_t>& medians);
+
+/// Alg. 5: local search with swaps of up to `p` facilities at a time,
+/// first-improvement, deterministic initial solution (first k facilities).
+/// `min_relative_gain` is the improvement threshold that makes the
+/// 3 + 2/p guarantee polynomial-time (Arya et al. use cost reductions of at
+/// least cost/poly; any positive epsilon preserves the ratio up to (1+eps)).
+KMedianSolution local_search_kmedian(const KMedianInstance& instance, std::size_t p,
+                                     double min_relative_gain = 1e-9);
+
+/// Exhaustive optimum over all C(|facilities|, k) subsets. Test-scale only.
+KMedianSolution exhaustive_kmedian(const KMedianInstance& instance);
+
+}  // namespace sheriff::graph

@@ -1,0 +1,60 @@
+#include "graph/knapsack.hpp"
+
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace sheriff::graph {
+
+KnapsackSelection min_value_knapsack(const std::vector<KnapsackItem>& items, std::size_t budget) {
+  constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+  const std::size_t n = items.size();
+
+  // Full (items+1) x (budget+1) table so reconstruction is exact: row i
+  // holds the best value using only the first i items. The take bitmap
+  // records the decision at each cell.
+  std::vector<double> prev(budget + 1, kUnreachable);
+  std::vector<double> cur(budget + 1, kUnreachable);
+  std::vector<std::vector<bool>> take(n, std::vector<bool>(budget + 1, false));
+  prev[0] = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& item = items[i];
+    SHERIFF_REQUIRE(item.value >= 0.0, "knapsack item value must be non-negative");
+    cur = prev;
+    if (item.capacity > 0 && item.capacity <= budget) {
+      for (std::size_t j = item.capacity; j <= budget; ++j) {
+        const double with = prev[j - item.capacity];
+        if (with != kUnreachable && with + item.value < cur[j]) {
+          cur[j] = with + item.value;
+          take[i][j] = true;
+        }
+      }
+    }
+    prev.swap(cur);
+  }
+
+  // Primary objective: offload as much capacity as possible (largest
+  // reachable j <= budget); secondary: that j's minimum total value.
+  std::size_t best_j = 0;
+  for (std::size_t j = budget; j > 0; --j) {
+    if (prev[j] != kUnreachable) {
+      best_j = j;
+      break;
+    }
+  }
+
+  KnapsackSelection selection;
+  selection.total_capacity = best_j;
+  selection.total_value = best_j == 0 ? 0.0 : prev[best_j];
+  std::size_t j = best_j;
+  for (std::size_t i = n; i > 0 && j > 0; --i) {
+    if (take[i - 1][j]) {
+      selection.chosen.push_back(i - 1);
+      j -= items[i - 1].capacity;
+    }
+  }
+  return selection;
+}
+
+}  // namespace sheriff::graph

@@ -1,0 +1,32 @@
+#pragma once
+// 0/1 knapsack selection used by the PRIORITY function (Alg. 2).
+//
+// The shim must offload up to C units of capacity while sacrificing as
+// little "value" as possible: among subsets of candidate VMs with total
+// capacity <= C, it prefers the one that offloads the most capacity and,
+// among those, the one with minimum total value ("lowest value but largest
+// size" in the paper, with Mbps as the minimum capacity unit).
+
+#include <cstddef>
+#include <vector>
+
+namespace sheriff::graph {
+
+struct KnapsackItem {
+  std::size_t capacity = 0;  ///< integer capacity units (Mbps)
+  double value = 0.0;        ///< importance; lower = better to move
+};
+
+struct KnapsackSelection {
+  std::vector<std::size_t> chosen;  ///< indices into the item vector
+  std::size_t total_capacity = 0;
+  double total_value = 0.0;
+};
+
+/// Dynamic program over capacities 0..budget (the paper's d[0..C] table):
+/// d[j] = minimum total value of a subset with total capacity exactly j,
+/// V[j] = that subset. The answer is the feasible j <= budget maximizing j,
+/// breaking ties by minimum value. O(items * budget) time.
+KnapsackSelection min_value_knapsack(const std::vector<KnapsackItem>& items, std::size_t budget);
+
+}  // namespace sheriff::graph

@@ -1,0 +1,124 @@
+#include "migration/cost_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace sheriff::mig {
+
+MigrationCostModel::MigrationCostModel(const topo::Topology& topo,
+                                       const wl::Deployment& deployment, CostParams params)
+    : topo_(&topo),
+      deployment_(&deployment),
+      params_(params),
+      distance_graph_(topo.wired_graph(topo::EdgeWeight::kDistance)) {
+  SHERIFF_REQUIRE(params.computing_cost >= 0.0, "C_r must be non-negative");
+  SHERIFF_REQUIRE(params.request_gbps > 0.0, "requested bandwidth must be positive");
+}
+
+void MigrationCostModel::set_bandwidth_state(const net::FairShareResult* shares) {
+  shares_ = shares;
+  tree_cache_.clear();
+}
+
+void MigrationCostModel::begin_round() { tree_cache_.clear(); }
+
+const graph::ShortestPathTree& MigrationCostModel::tree_for(topo::NodeId source) const {
+  {
+    std::scoped_lock lock(cache_mutex_);
+    const auto it = tree_cache_.find(source);
+    if (it != tree_cache_.end()) return *it->second;
+  }
+  // Compute outside the lock (two threads may race on the same source;
+  // the loser's work is discarded, which is cheaper than serializing all
+  // Dijkstra runs).
+  auto tree = std::make_unique<graph::ShortestPathTree>(
+      graph::dijkstra(distance_graph_, source));
+  std::scoped_lock lock(cache_mutex_);
+  const auto [it, inserted] = tree_cache_.try_emplace(source, std::move(tree));
+  return *it->second;
+}
+
+double MigrationCostModel::host_distance(topo::NodeId from, topo::NodeId to) const {
+  if (from == to) return 0.0;
+  return tree_for(from).distance[to];
+}
+
+CostBreakdown MigrationCostModel::cost(wl::VmId vm_id, topo::NodeId destination) const {
+  const wl::VirtualMachine& vm = deployment_->vm(vm_id);
+  SHERIFF_REQUIRE(topo_->node(destination).kind == topo::NodeKind::kHost,
+                  "migration destination must be a host");
+  CostBreakdown breakdown;
+  breakdown.computing = params_.computing_cost;
+
+  // Dependency cost (Eq. 1's C_d·D(e)·χ term), in the configured mode.
+  double new_span = 0.0;
+  double old_span = 0.0;
+  for (wl::VmId other : deployment_->dependencies().neighbors(vm_id)) {
+    const topo::NodeId partner = deployment_->vm(other).host;
+    new_span += host_distance(destination, partner);
+    if (params_.dependency_mode == DependencyCostMode::kClampedDelta) {
+      old_span += host_distance(vm.host, partner);
+    }
+  }
+  switch (params_.dependency_mode) {
+    case DependencyCostMode::kPostMoveSpan:
+      breakdown.dependency = params_.unit_distance_cost * new_span;
+      break;
+    case DependencyCostMode::kClampedDelta:
+      breakdown.dependency =
+          params_.unit_distance_cost * std::max(0.0, new_span - old_span);
+      break;
+  }
+
+  // Transmission cost over the shortest distance path source → destination.
+  const auto path = tree_for(vm.host).path_to(destination);
+  if (path.size() < 2) return breakdown;  // unreachable: infeasible
+  double transmission = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const topo::LinkId link = topo_->link_between(path[i], path[i + 1]);
+    const double capacity = topo_->link(link).capacity_gbps;
+    double available = capacity;
+    if (shares_ != nullptr) {
+      available = std::max(shares_->available_bandwidth(*topo_, link),
+                           params_.management_reserve_fraction * capacity);
+    }
+    // B(e): the smaller of available and requested bandwidth, which must
+    // clear the threshold B_t for the link to be usable.
+    const double b = std::min(available, params_.request_gbps);
+    if (b <= params_.bandwidth_threshold_gbps) return breakdown;  // infeasible
+    const double t = static_cast<double>(vm.capacity) / b;  // T(e)
+    const double p = b / capacity;                          // P(e)
+    transmission += params_.delta * t + params_.eta * p;
+  }
+  breakdown.transmission = transmission;
+  breakdown.feasible = true;
+  return breakdown;
+}
+
+double MigrationCostModel::path_bottleneck_bandwidth(wl::VmId vm,
+                                                     topo::NodeId destination) const {
+  const wl::VirtualMachine& m = deployment_->vm(vm);
+  const auto path = tree_for(m.host).path_to(destination);
+  if (path.size() < 2) return 0.0;
+  double bottleneck = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const topo::LinkId link = topo_->link_between(path[i], path[i + 1]);
+    const double capacity = topo_->link(link).capacity_gbps;
+    double available = capacity;
+    if (shares_ != nullptr) {
+      available = std::max(shares_->available_bandwidth(*topo_, link),
+                           params_.management_reserve_fraction * capacity);
+    }
+    bottleneck = std::min(bottleneck, std::min(available, params_.request_gbps));
+  }
+  return bottleneck;
+}
+
+double MigrationCostModel::total_cost(wl::VmId vm, topo::NodeId destination) const {
+  const CostBreakdown breakdown = cost(vm, destination);
+  return breakdown.feasible ? breakdown.total() : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace sheriff::mig

@@ -1,0 +1,119 @@
+#pragma once
+// Migration cost model, Eq. (1) of the paper:
+//
+//   Cost(v_i, v_p) = C_r                                  (computing cost)
+//                  + C_d · D(e) · χ                       (dependency cost)
+//                  + Σ_{e ∈ P(v_i,v_p)} (δ·T(e) + η·P(e)) (transmission cost)
+//
+// with T(e) = m.capacity / B(e) the transmission time, P(e) = B(e)/C(e)
+// the utilization rate, B(e) = min(available bandwidth, requested
+// bandwidth) required to exceed the threshold B_t.
+//
+// Dependency cost: the paper's term is the change in total wired distance
+// of the induced dependency neighborhood after the move. We evaluate it as
+// C_d times the summed distance from the *destination* to every dependency
+// neighbor of the VM (the post-move neighborhood span); this keeps the
+// term non-negative — as the assignment solvers require — while preserving
+// the paper's intent of penalizing moves away from communication partners.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+#include "net/fair_share.hpp"
+#include "topology/topology.hpp"
+#include "workload/deployment.hpp"
+
+namespace sheriff::mig {
+
+/// How the dependency term of Eq. (1) is evaluated.
+enum class DependencyCostMode : std::uint8_t {
+  /// C_d times the post-move communication span: Σ_{u ∈ N_d(m)}
+  /// D(dest, host(u)). Non-negative and monotone — the default, because
+  /// the matching solvers need non-negative costs.
+  kPostMoveSpan,
+  /// The paper's literal formula: C_d times the *change* of the induced
+  /// neighborhood distance, Σ D(new) − Σ D(old), clamped at 0 (a move
+  /// toward the partners is free, never negative).
+  kClampedDelta,
+};
+
+struct CostParams {
+  double computing_cost = 100.0;      ///< C_r (Sec. VI-B sets 100)
+  double unit_distance_cost = 1.0;    ///< C_d (Sec. VI-B sets 1)
+  DependencyCostMode dependency_mode = DependencyCostMode::kPostMoveSpan;
+  double delta = 1.0;                 ///< δ, transmission-time weight
+  double eta = 1.0;                   ///< η, utilization weight
+  double bandwidth_threshold_gbps = 0.05;  ///< B_t: links below this are unusable
+  double request_gbps = 1.0;          ///< bandwidth requested for the transfer
+  /// Management-plane reserve: live migration always gets at least this
+  /// fraction of a link's capacity even when tenant flows saturate it
+  /// (DCNs carve out a management slice; without it, the saturated hosts —
+  /// exactly the ones that must shed VMs — could never migrate anything).
+  double management_reserve_fraction = 0.1;
+};
+
+struct CostBreakdown {
+  double computing = 0.0;
+  double dependency = 0.0;
+  double transmission = 0.0;
+  bool feasible = false;  ///< false when some path link is below B_t
+
+  [[nodiscard]] double total() const noexcept { return computing + dependency + transmission; }
+};
+
+/// Evaluates Eq. (1) for candidate moves on a fixed topology. Shortest
+/// (distance-weighted) paths are computed lazily per source host and
+/// cached; call `begin_round()` when the network state changes. Concurrent
+/// cost()/total_cost() calls are safe (the path cache is mutex-guarded),
+/// which lets every shim evaluate its proposals in parallel.
+class MigrationCostModel {
+ public:
+  MigrationCostModel(const topo::Topology& topo, const wl::Deployment& deployment,
+                     CostParams params = {});
+
+  /// Installs the current bandwidth state (link loads from the fair-share
+  /// allocator). Without it, links are treated as idle.
+  void set_bandwidth_state(const net::FairShareResult* shares);
+
+  /// Invalidates the per-source path cache (topology routing state is
+  /// immutable, but bandwidth changes between rounds).
+  void begin_round();
+
+  /// Cost of migrating `vm` from its current host to `destination`.
+  [[nodiscard]] CostBreakdown cost(wl::VmId vm, topo::NodeId destination) const;
+
+  /// Total cost convenience: +inf when infeasible.
+  [[nodiscard]] double total_cost(wl::VmId vm, topo::NodeId destination) const;
+
+  [[nodiscard]] const CostParams& params() const noexcept { return params_; }
+
+  /// Wired distance (meters over shortest distance path) between hosts.
+  [[nodiscard]] double host_distance(topo::NodeId from, topo::NodeId to) const;
+
+  /// Bottleneck bandwidth B(e*) the migration transfer would get on the
+  /// path from the VM's host to `destination` (management reserve
+  /// applied); 0 when unreachable. Feeds the live-migration timeline.
+  [[nodiscard]] double path_bottleneck_bandwidth(wl::VmId vm, topo::NodeId destination) const;
+
+ private:
+  const graph::ShortestPathTree& tree_for(topo::NodeId source) const;
+
+  const topo::Topology* topo_;
+  const wl::Deployment* deployment_;
+  CostParams params_;
+  graph::Graph distance_graph_;
+  const net::FairShareResult* shares_ = nullptr;
+  // Values are stable pointers so concurrent readers can hold references
+  // across rehashes; the mutex only guards lookups/insertions.
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<topo::NodeId, std::unique_ptr<graph::ShortestPathTree>>
+      tree_cache_;
+};
+
+}  // namespace sheriff::mig

@@ -1,0 +1,40 @@
+#include "migration/live_migration.hpp"
+
+#include "common/require.hpp"
+
+namespace sheriff::mig {
+
+LiveMigrationTimeline simulate_live_migration(const LiveMigrationParams& params) {
+  SHERIFF_REQUIRE(params.memory_gb > 0.0, "memory size must be positive");
+  SHERIFF_REQUIRE(params.bandwidth_gbps > 0.0, "bandwidth must be positive");
+  SHERIFF_REQUIRE(params.dirty_rate_gbps >= 0.0, "dirty rate must be non-negative");
+  SHERIFF_REQUIRE(params.max_precopy_rounds >= 1, "need at least one pre-copy round");
+
+  LiveMigrationTimeline timeline;
+  timeline.t1_init_seconds = params.init_seconds;
+  timeline.t4_commit_seconds = params.commit_seconds;
+
+  // Bandwidth is in Gbit/s and sizes in GByte: 8 bits per byte.
+  const double rate_gBps = params.bandwidth_gbps / 8.0;
+  const double dirty_gBps = params.dirty_rate_gbps / 8.0;
+
+  double remaining = params.memory_gb;  // to transfer this round
+  for (int round = 0; round < params.max_precopy_rounds; ++round) {
+    if (remaining <= params.stop_copy_threshold_gb) break;
+    const double round_seconds = remaining / rate_gBps;
+    timeline.t2_precopy_seconds += round_seconds;
+    timeline.transferred_gb += remaining;
+    ++timeline.precopy_rounds;
+    // Pages dirtied while this round streamed must go again next round
+    // (never more than the whole memory).
+    remaining = dirty_gBps * round_seconds;
+    if (remaining > params.memory_gb) remaining = params.memory_gb;
+  }
+
+  // Stop & copy: suspend and move the residue.
+  timeline.t3_downtime_seconds = remaining / rate_gBps;
+  timeline.transferred_gb += remaining;
+  return timeline;
+}
+
+}  // namespace sheriff::mig

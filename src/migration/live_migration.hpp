@@ -1,0 +1,40 @@
+#pragma once
+// Six-stage pre-copy live migration (Sec. III-C, Fig. 2; Clark et al.,
+// NSDI 2005): initialization/reservation, iterative pre-copy, stop&copy,
+// commitment/activation. This model computes the stage durations t1..t4,
+// the downtime, and the bytes moved, given memory size, page dirty rate
+// and the bandwidth the transfer gets.
+
+#include <cstddef>
+
+namespace sheriff::mig {
+
+struct LiveMigrationParams {
+  double memory_gb = 4.0;          ///< VM RAM to copy
+  double dirty_rate_gbps = 0.5;    ///< rate at which pages are re-dirtied
+  double bandwidth_gbps = 1.0;     ///< transfer rate granted to the migration
+  int max_precopy_rounds = 6;      ///< bound on iterative pre-copy rounds
+  double stop_copy_threshold_gb = 0.05;  ///< remainder small enough to stop&copy
+  double init_seconds = 0.5;       ///< t1: initialization + reservation
+  double commit_seconds = 0.3;     ///< t4: commitment + activation
+};
+
+struct LiveMigrationTimeline {
+  double t1_init_seconds = 0.0;      ///< initialization + reservation
+  double t2_precopy_seconds = 0.0;   ///< iterative pre-copy
+  double t3_downtime_seconds = 0.0;  ///< stop & copy (service suspended)
+  double t4_commit_seconds = 0.0;    ///< commitment + activation
+  double transferred_gb = 0.0;       ///< total bytes moved (all rounds)
+  int precopy_rounds = 0;
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return t1_init_seconds + t2_precopy_seconds + t3_downtime_seconds + t4_commit_seconds;
+  }
+};
+
+/// Simulates the pre-copy iteration: each round retransmits the pages
+/// dirtied during the previous round; rounds stop when the residue drops
+/// below the stop&copy threshold or the round bound is hit.
+LiveMigrationTimeline simulate_live_migration(const LiveMigrationParams& params);
+
+}  // namespace sheriff::mig

@@ -1,0 +1,36 @@
+#include "migration/request.hpp"
+
+#include "common/require.hpp"
+
+namespace sheriff::mig {
+
+const char* to_string(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kAck: return "ACK";
+    case RequestOutcome::kRejectCapacity: return "REJECT";
+    case RequestOutcome::kIgnoredNotDelegate: return "IGNORED";
+  }
+  return "unknown";
+}
+
+AdmissionBroker::AdmissionBroker(wl::Deployment& deployment) : deployment_(&deployment) {}
+
+RequestOutcome AdmissionBroker::request(wl::VmId vm, topo::NodeId destination_host,
+                                        topo::RackId handler_rack) {
+  const topo::Topology& topo = deployment_->topology();
+  const topo::Node& dest = topo.node(destination_host);
+  SHERIFF_REQUIRE(dest.kind == topo::NodeKind::kHost, "destination must be a host");
+
+  // "if i != p: v_i is not the candidate delegation → ignore" (Alg. 4).
+  if (dest.rack != handler_rack) return RequestOutcome::kIgnoredNotDelegate;
+
+  if (!deployment_->can_place(vm, destination_host)) {
+    ++rejects_;
+    return RequestOutcome::kRejectCapacity;
+  }
+  deployment_->move_vm(vm, destination_host);
+  ++acks_;
+  return RequestOutcome::kAck;
+}
+
+}  // namespace sheriff::mig

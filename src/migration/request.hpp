@@ -1,0 +1,43 @@
+#pragma once
+// REQUEST action (Alg. 4): receiver-side admission for migration. The
+// destination rack's delegation node serves requests first-come-first-
+// served; it ACKs when it is the responsible delegate and the destination
+// host has room (and no dependency conflict), otherwise rejects or
+// ignores. On ACK the reservation is applied immediately, so later
+// requests in the same round see the updated capacity — exactly the FCFS
+// conflict-avoidance of the paper.
+
+#include <cstddef>
+
+#include "topology/topology.hpp"
+#include "workload/deployment.hpp"
+
+namespace sheriff::mig {
+
+enum class RequestOutcome : std::uint8_t {
+  kAck,                 ///< reserved and migrated
+  kRejectCapacity,      ///< h_pq lacks capacity (or dependency conflict)
+  kIgnoredNotDelegate,  ///< the addressed shim does not own the destination
+};
+
+const char* to_string(RequestOutcome outcome) noexcept;
+
+class AdmissionBroker {
+ public:
+  /// The broker mutates the shared deployment on ACK.
+  explicit AdmissionBroker(wl::Deployment& deployment);
+
+  /// Processes one REQUEST(m, h_dest) addressed to `handler_rack`'s shim.
+  RequestOutcome request(wl::VmId vm, topo::NodeId destination_host,
+                         topo::RackId handler_rack);
+
+  [[nodiscard]] std::size_t ack_count() const noexcept { return acks_; }
+  [[nodiscard]] std::size_t reject_count() const noexcept { return rejects_; }
+
+ private:
+  wl::Deployment* deployment_;
+  std::size_t acks_ = 0;
+  std::size_t rejects_ = 0;
+};
+
+}  // namespace sheriff::mig

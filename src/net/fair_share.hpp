@@ -1,0 +1,29 @@
+#pragma once
+// Max–min fair bandwidth allocation (progressive filling / water-filling)
+// over routed flows. This produces the per-link signals the management
+// algorithms consume: available bandwidth B(e), utilization rate P(e), and
+// per-flow achieved rate.
+
+#include <span>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::net {
+
+struct FairShareResult {
+  std::vector<double> flow_rate;         ///< indexed by position in the input span
+  std::vector<double> link_load_gbps;    ///< indexed by LinkId: sum of allocated rates
+  std::vector<double> link_offered_gbps; ///< indexed by LinkId: sum of *demands*
+  std::vector<double> link_utilization;  ///< load / capacity, in [0, 1]
+
+  /// B(e): capacity minus allocated load.
+  [[nodiscard]] double available_bandwidth(const topo::Topology& topo, topo::LinkId link) const;
+};
+
+/// Computes the max–min fair allocation; also writes each flow's
+/// allocated_gbps. Unrouted flows get rate zero.
+FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> flows);
+
+}  // namespace sheriff::net

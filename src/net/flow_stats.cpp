@@ -1,0 +1,41 @@
+#include "net/flow_stats.hpp"
+
+namespace sheriff::net {
+
+double jain_fairness_index(std::span<const double> rates) {
+  if (rates.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double r : rates) {
+    sum += r;
+    sum_sq += r * r;
+  }
+  if (sum_sq == 0.0) return 1.0;  // everyone equally starved
+  return sum * sum / (static_cast<double>(rates.size()) * sum_sq);
+}
+
+FlowQosStats compute_qos_stats(std::span<const Flow> flows) {
+  FlowQosStats stats;
+  std::vector<double> rates;
+  double satisfaction_acc = 0.0;
+  for (const Flow& f : flows) {
+    const double demand = f.effective_demand();
+    if (!f.routed() || demand <= 0.0) continue;
+    ++stats.offered_flows;
+    stats.total_demand_gbps += demand;
+    stats.total_allocated_gbps += f.allocated_gbps;
+    rates.push_back(f.allocated_gbps);
+    const double satisfaction = f.allocated_gbps / demand;
+    satisfaction_acc += satisfaction;
+    if (satisfaction >= 1.0 - 1e-9) ++stats.satisfied_flows;
+  }
+  if (stats.offered_flows > 0) {
+    stats.mean_satisfaction = satisfaction_acc / static_cast<double>(stats.offered_flows);
+  } else {
+    stats.mean_satisfaction = 1.0;
+  }
+  stats.jain_fairness = jain_fairness_index(rates);
+  return stats;
+}
+
+}  // namespace sheriff::net

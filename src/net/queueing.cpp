@@ -1,0 +1,74 @@
+#include "net/queueing.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace sheriff::net {
+
+SwitchQueues::SwitchQueues(const topo::Topology& topo, QcnConfig config)
+    : topo_(&topo), config_(config) {
+  queue_.assign(topo.node_count(), 0.0);
+  prev_queue_.assign(topo.node_count(), 0.0);
+}
+
+void SwitchQueues::update(const FairShareResult& shares, std::span<Flow> flows, double dt) {
+  SHERIFF_REQUIRE(shares.link_load_gbps.size() == topo_->link_count(),
+                  "fair-share result does not match topology");
+  prev_queue_ = queue_;
+
+  for (const auto& node : topo_->nodes()) {
+    if (!topo::is_switch(node.kind)) continue;
+    // Excess = worst (offered − serviced) over incident links: demand the
+    // switch was asked to carry but could not.
+    double excess = 0.0;
+    for (topo::LinkId l : topo_->links_of(node.id)) {
+      excess = std::max(excess, shares.link_offered_gbps[l] - shares.link_load_gbps[l]);
+    }
+    if (excess > 0.0) {
+      queue_[node.id] += excess * dt;
+    } else {
+      queue_[node.id] *= std::max(0.0, 1.0 - config_.drain_factor * dt);
+      if (queue_[node.id] < 1e-9) queue_[node.id] = 0.0;
+    }
+  }
+
+  // DSCP marking: flows transiting a congested switch get marked, others
+  // get cleared (the mark reflects the current state, not history).
+  const auto hot = congested_switches();
+  for (Flow& f : flows) {
+    bool marked = false;
+    for (topo::NodeId sw : hot) {
+      if (f.transits(sw)) {
+        marked = true;
+        break;
+      }
+    }
+    f.dscp = marked ? DscpMark::kCongested : DscpMark::kNone;
+  }
+}
+
+double SwitchQueues::queue_length(topo::NodeId sw) const {
+  SHERIFF_REQUIRE(sw < queue_.size(), "switch id out of range");
+  return queue_[sw];
+}
+
+double SwitchQueues::feedback(topo::NodeId sw) const {
+  SHERIFF_REQUIRE(sw < queue_.size(), "switch id out of range");
+  const double q_off = queue_[sw] - config_.equilibrium_queue;
+  const double q_delta = queue_[sw] - prev_queue_[sw];
+  return -(q_off + config_.weight * q_delta);
+}
+
+std::vector<topo::NodeId> SwitchQueues::congested_switches() const {
+  std::vector<topo::NodeId> out;
+  for (const auto& node : topo_->nodes()) {
+    if (!topo::is_switch(node.kind)) continue;
+    if (queue_[node.id] > 0.0 && feedback(node.id) < config_.congestion_feedback) {
+      out.push_back(node.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace sheriff::net

@@ -1,0 +1,46 @@
+#pragma once
+// Switch queue model with QCN-style congestion feedback (Sec. III-A/B).
+// Each switch's backlog integrates (offered load − serviced load) over its
+// most loaded incident link; QCN computes Fb = −(q_off + w·q_delta) and a
+// negative Fb signals congestion, which the shim treats as a switch alert.
+
+#include <span>
+#include <vector>
+
+#include "net/fair_share.hpp"
+#include "net/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::net {
+
+struct QcnConfig {
+  double equilibrium_queue = 4.0;   ///< q_eq, in Gbit of backlog
+  double weight = 2.0;              ///< w, the rate-of-change weight
+  double drain_factor = 0.25;       ///< share of backlog drained per tick when idle
+  double congestion_feedback = -1.0;  ///< Fb below this marks the switch congested
+};
+
+class SwitchQueues {
+ public:
+  SwitchQueues(const topo::Topology& topo, QcnConfig config = {});
+
+  /// Advances the backlog of every switch by `dt` given the current
+  /// allocation, and applies DSCP marks to flows through congested
+  /// switches.
+  void update(const FairShareResult& shares, std::span<Flow> flows, double dt = 1.0);
+
+  [[nodiscard]] double queue_length(topo::NodeId sw) const;
+  /// QCN feedback Fb = −(q − q_eq + w·(q − q_prev)); negative = congested.
+  [[nodiscard]] double feedback(topo::NodeId sw) const;
+  /// Switches currently signalling congestion.
+  [[nodiscard]] std::vector<topo::NodeId> congested_switches() const;
+  [[nodiscard]] const QcnConfig& config() const noexcept { return config_; }
+
+ private:
+  const topo::Topology* topo_;
+  QcnConfig config_;
+  std::vector<double> queue_;       ///< indexed by NodeId (hosts stay zero)
+  std::vector<double> prev_queue_;
+};
+
+}  // namespace sheriff::net

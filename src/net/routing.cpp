@@ -1,0 +1,81 @@
+#include "net/routing.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace sheriff::net {
+
+namespace {
+
+/// Cheap integer mix for deterministic ECMP choices.
+std::uint32_t mix(std::uint32_t x) noexcept {
+  x ^= x >> 16;
+  x *= 0x7feb352dU;
+  x ^= x >> 15;
+  x *= 0x846ca68bU;
+  x ^= x >> 16;
+  return x;
+}
+
+}  // namespace
+
+bool Flow::transits(topo::NodeId node) const noexcept {
+  if (path.size() < 3) return false;
+  return std::find(path.begin() + 1, path.end() - 1, node) != path.end() - 1;
+}
+
+Router::Router(const topo::Topology& topo)
+    : topo_(&topo), hop_graph_(topo.wired_graph(topo::EdgeWeight::kHops)) {}
+
+bool Router::route(Flow& flow, std::span<const topo::NodeId> blocked) const {
+  SHERIFF_REQUIRE(flow.src_host < topo_->node_count() && flow.dst_host < topo_->node_count(),
+                  "flow endpoints out of range");
+  flow.path.clear();
+  if (flow.src_host == flow.dst_host) return false;
+
+  std::vector<bool> blocked_mask;
+  if (!blocked.empty()) {
+    blocked_mask.assign(topo_->node_count(), false);
+    for (topo::NodeId b : blocked) {
+      SHERIFF_REQUIRE(b != flow.src_host && b != flow.dst_host,
+                      "cannot block a flow endpoint");
+      blocked_mask[b] = true;
+    }
+  }
+
+  const auto tree = graph::dijkstra(hop_graph_, flow.src_host, blocked_mask);
+  if (tree.distance[flow.dst_host] == graph::kInfiniteDistance) return false;
+
+  // Walk back from dst, hashing over tight parents: ECMP. Hash depends on
+  // flow id and depth so consecutive flows take different spines.
+  std::vector<topo::NodeId> reverse_path{flow.dst_host};
+  topo::NodeId cur = flow.dst_host;
+  std::uint32_t salt = mix(flow.id * 0x9e3779b9U + 1U);
+  while (cur != flow.src_host) {
+    const auto& parents = tree.parents[cur];
+    SHERIFF_REQUIRE(!parents.empty(), "broken shortest path tree");
+    salt = mix(salt + static_cast<std::uint32_t>(reverse_path.size()));
+    cur = parents[salt % parents.size()];
+    reverse_path.push_back(cur);
+    SHERIFF_REQUIRE(reverse_path.size() <= topo_->node_count(), "routing loop detected");
+  }
+  flow.path.assign(reverse_path.rbegin(), reverse_path.rend());
+  return true;
+}
+
+std::size_t Router::route_all(std::span<Flow> flows) const {
+  std::size_t routed = 0;
+  for (Flow& f : flows) {
+    if (route(f)) ++routed;
+  }
+  return routed;
+}
+
+std::size_t Router::shortest_path_count(topo::NodeId src, topo::NodeId dst) const {
+  const auto tree = graph::dijkstra(hop_graph_, src);
+  return tree.path_count(dst);
+}
+
+}  // namespace sheriff::net

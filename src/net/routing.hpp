@@ -1,0 +1,36 @@
+#pragma once
+// Shortest-path routing with ECMP spreading. Paths are computed on the
+// hop-weighted wired graph; among equal-cost parents the router picks
+// deterministically by a per-flow hash, which spreads flows over the
+// fabric the way ECMP hashing does.
+
+#include <span>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::net {
+
+class Router {
+ public:
+  /// The topology must outlive the router.
+  explicit Router(const topo::Topology& topo);
+
+  /// Routes `flow` (fills flow.path). `blocked` nodes are excluded — pass
+  /// the hot switches when rerouting (FLOWREROUTE). Returns false when no
+  /// path exists under the blocks (path left empty).
+  bool route(Flow& flow, std::span<const topo::NodeId> blocked = {}) const;
+
+  /// Routes every flow in place; returns the number successfully routed.
+  std::size_t route_all(std::span<Flow> flows) const;
+
+  /// Number of distinct shortest paths between two hosts (diagnostics).
+  [[nodiscard]] std::size_t shortest_path_count(topo::NodeId src, topo::NodeId dst) const;
+
+ private:
+  const topo::Topology* topo_;
+  graph::Graph hop_graph_;
+};
+
+}  // namespace sheriff::net

@@ -1,0 +1,70 @@
+#include "timeseries/acf.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "timeseries/series_ops.hpp"
+
+namespace sheriff::ts {
+
+std::vector<double> autocorrelation(std::span<const double> series, int max_lag) {
+  SHERIFF_REQUIRE(max_lag >= 1, "max_lag must be positive");
+  SHERIFF_REQUIRE(series.size() > static_cast<std::size_t>(max_lag),
+                  "series too short for requested lags");
+  const auto centered = demean(series);
+  const auto n = static_cast<double>(centered.size());
+  double c0 = 0.0;
+  for (double x : centered) c0 += x * x;
+  c0 /= n;
+
+  std::vector<double> r(max_lag, 0.0);
+  if (c0 <= 0.0) return r;  // constant series: all autocorrelations zero
+  for (int k = 1; k <= max_lag; ++k) {
+    double ck = 0.0;
+    for (std::size_t t = static_cast<std::size_t>(k); t < centered.size(); ++t) {
+      ck += centered[t] * centered[t - k];
+    }
+    r[k - 1] = (ck / n) / c0;
+  }
+  return r;
+}
+
+std::vector<double> partial_autocorrelation(std::span<const double> series, int max_lag) {
+  const auto r = autocorrelation(series, max_lag);
+  // Durbin–Levinson recursion: phi_{k,k} is the k-th PACF value.
+  std::vector<double> pacf(max_lag, 0.0);
+  std::vector<double> phi_prev(max_lag + 1, 0.0);
+  std::vector<double> phi_cur(max_lag + 1, 0.0);
+  double v = 1.0;  // prediction error variance (normalized)
+
+  for (int k = 1; k <= max_lag; ++k) {
+    double num = r[k - 1];
+    for (int j = 1; j < k; ++j) num -= phi_prev[j] * r[k - 1 - j];
+    const double phi_kk = v > 1e-14 ? num / v : 0.0;
+    phi_cur[k] = phi_kk;
+    for (int j = 1; j < k; ++j) phi_cur[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+    v *= (1.0 - phi_kk * phi_kk);
+    pacf[k - 1] = phi_kk;
+    phi_prev = phi_cur;
+  }
+  return pacf;
+}
+
+double ljung_box(std::span<const double> series, int lags) {
+  const auto r = autocorrelation(series, lags);
+  const auto n = static_cast<double>(series.size());
+  double q = 0.0;
+  for (int k = 1; k <= lags; ++k) {
+    q += r[k - 1] * r[k - 1] / (n - static_cast<double>(k));
+  }
+  return n * (n + 2.0) * q;
+}
+
+bool looks_stationary(std::span<const double> series, double threshold) {
+  if (series.size() < 8) return true;
+  const auto r = autocorrelation(series, 1);
+  return std::fabs(r[0]) < threshold;
+}
+
+}  // namespace sheriff::ts

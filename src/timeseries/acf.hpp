@@ -1,0 +1,26 @@
+#pragma once
+// Sample autocorrelation / partial autocorrelation and the Ljung–Box
+// portmanteau statistic — the Box–Jenkins identification toolkit the paper
+// uses to pick ARIMA orders.
+
+#include <span>
+#include <vector>
+
+namespace sheriff::ts {
+
+/// Sample autocorrelations r_1..r_max_lag (r_0 = 1 is omitted).
+std::vector<double> autocorrelation(std::span<const double> series, int max_lag);
+
+/// Partial autocorrelations via Durbin–Levinson, lags 1..max_lag.
+std::vector<double> partial_autocorrelation(std::span<const double> series, int max_lag);
+
+/// Ljung–Box Q statistic over the first `lags` autocorrelations. Under the
+/// white-noise null, Q ~ chi^2(lags); large Q rejects whiteness.
+double ljung_box(std::span<const double> series, int lags);
+
+/// Crude stationarity check used by automatic differencing: true when the
+/// series' variance is not obviously dominated by a trend/random walk
+/// (lag-1 autocorrelation below `threshold`).
+bool looks_stationary(std::span<const double> series, double threshold = 0.95);
+
+}  // namespace sheriff::ts

@@ -1,0 +1,50 @@
+#include "timeseries/box_jenkins.hpp"
+
+#include <limits>
+
+#include "common/require.hpp"
+#include "timeseries/acf.hpp"
+#include "timeseries/series_ops.hpp"
+
+namespace sheriff::ts {
+
+int select_differencing_order(std::span<const double> series, int max_d) {
+  SHERIFF_REQUIRE(max_d >= 0, "max_d must be non-negative");
+  std::vector<double> work(series.begin(), series.end());
+  for (int d = 0; d < max_d; ++d) {
+    if (looks_stationary(work)) return d;
+    work = difference(work, 1);
+  }
+  return max_d;
+}
+
+BoxJenkinsSelection select_arima(std::span<const double> series,
+                                 const BoxJenkinsOptions& options) {
+  SHERIFF_REQUIRE(series.size() >= 32, "Box-Jenkins selection needs at least 32 points");
+  const int d = select_differencing_order(series, options.max_d);
+
+  BoxJenkinsSelection best;
+  double best_aicc = std::numeric_limits<double>::infinity();
+  for (int p = 0; p <= options.max_p; ++p) {
+    for (int q = 0; q <= options.max_q; ++q) {
+      if (p == 0 && q == 0) continue;  // a bare random walk predicts nothing
+      ArimaModel candidate(ArimaOrder{p, d, q});
+      try {
+        candidate.fit(series);
+      } catch (const common::RequirementError&) {
+        continue;  // fit infeasible (too short / no stable optimum)
+      }
+      ++best.candidates_tried;
+      const double aicc = candidate.aicc();
+      if (aicc < best_aicc) {
+        best_aicc = aicc;
+        best.model = std::move(candidate);
+        best.aicc = aicc;
+      }
+    }
+  }
+  SHERIFF_REQUIRE(best.candidates_tried > 0, "no ARIMA candidate could be fitted");
+  return best;
+}
+
+}  // namespace sheriff::ts

@@ -1,0 +1,33 @@
+#pragma once
+// Box–Jenkins automatic order selection (the paper specifies "use
+// Box-Jenkins method to specify the parameters of ARIMA"): pick the
+// differencing order d that makes the series look stationary, then grid
+// over (p, q) and keep the fit with the lowest corrected AIC.
+
+#include <span>
+
+#include "timeseries/arima.hpp"
+
+namespace sheriff::ts {
+
+struct BoxJenkinsOptions {
+  int max_p = 3;
+  int max_d = 2;
+  int max_q = 3;
+};
+
+struct BoxJenkinsSelection {
+  ArimaModel model{ArimaOrder{}};  ///< the winning fitted model
+  double aicc = 0.0;
+  int candidates_tried = 0;
+};
+
+/// Fits the grid and returns the AICc-best model (already fitted).
+BoxJenkinsSelection select_arima(std::span<const double> series,
+                                 const BoxJenkinsOptions& options = {});
+
+/// The differencing order selection step alone: smallest d in [0, max_d]
+/// whose d-th difference looks stationary (lag-1 autocorrelation test).
+int select_differencing_order(std::span<const double> series, int max_d = 2);
+
+}  // namespace sheriff::ts

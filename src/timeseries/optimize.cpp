@@ -1,0 +1,109 @@
+#include "timeseries/optimize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace sheriff::ts {
+
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& fn,
+                             std::vector<double> x0, const NelderMeadOptions& options) {
+  const std::size_t n = x0.size();
+  SHERIFF_REQUIRE(n >= 1, "nelder_mead needs at least one dimension");
+
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  constexpr double kAlpha = 1.0;
+  constexpr double kGamma = 2.0;
+  constexpr double kRho = 0.5;
+  constexpr double kSigma = 0.5;
+
+  std::vector<std::vector<double>> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back(x0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto vertex = x0;
+    vertex[i] += options.initial_step * (std::fabs(vertex[i]) > 1.0 ? std::fabs(vertex[i]) : 1.0);
+    simplex.push_back(std::move(vertex));
+  }
+  std::vector<double> values(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) values[i] = fn(simplex[i]);
+
+  NelderMeadResult result;
+  std::vector<std::size_t> order(n + 1);
+  for (result.iterations = 0; result.iterations < options.max_iterations; ++result.iterations) {
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[n - 1];
+
+    if (std::isfinite(values[best]) &&
+        std::fabs(values[worst] - values[best]) <= options.tolerance *
+            (std::fabs(values[best]) + options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    const auto blend = [&](double coeff) {
+      std::vector<double> point(n);
+      for (std::size_t d = 0; d < n; ++d) {
+        point[d] = centroid[d] + coeff * (simplex[worst][d] - centroid[d]);
+      }
+      return point;
+    };
+
+    const auto reflected = blend(-kAlpha);
+    const double f_reflected = fn(reflected);
+    if (f_reflected < values[best]) {
+      const auto expanded = blend(-kAlpha * kGamma);
+      const double f_expanded = fn(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+      continue;
+    }
+    if (f_reflected < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+      continue;
+    }
+    const auto contracted = blend(kRho);
+    const double f_contracted = fn(contracted);
+    if (f_contracted < values[worst]) {
+      simplex[worst] = contracted;
+      values[worst] = f_contracted;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == best) continue;
+      for (std::size_t d = 0; d < n; ++d) {
+        simplex[i][d] = simplex[best][d] + kSigma * (simplex[i][d] - simplex[best][d]);
+      }
+      values[i] = fn(simplex[i]);
+    }
+  }
+
+  const std::size_t best =
+      static_cast<std::size_t>(std::min_element(values.begin(), values.end()) - values.begin());
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+}  // namespace sheriff::ts

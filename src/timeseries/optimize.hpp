@@ -1,0 +1,29 @@
+#pragma once
+// Derivative-free minimization (Nelder–Mead). The ARIMA fitter polishes its
+// Hannan–Rissanen starting point on the conditional-sum-of-squares surface
+// with this; it is also handy for small calibration problems in benches.
+
+#include <functional>
+#include <vector>
+
+namespace sheriff::ts {
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;       ///< stop when simplex f-spread is below this
+  double initial_step = 0.1;      ///< simplex edge length around the start
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `fn` starting from `x0`. fn may return +inf to reject a point
+/// (used to enforce stationarity / invertibility constraints).
+NelderMeadResult nelder_mead(const std::function<double(const std::vector<double>&)>& fn,
+                             std::vector<double> x0, const NelderMeadOptions& options = {});
+
+}  // namespace sheriff::ts

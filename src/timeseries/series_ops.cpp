@@ -1,0 +1,65 @@
+#include "timeseries/series_ops.hpp"
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace sheriff::ts {
+
+std::vector<double> difference(std::span<const double> series, int d) {
+  SHERIFF_REQUIRE(d >= 0, "difference order must be non-negative");
+  SHERIFF_REQUIRE(static_cast<int>(series.size()) > d, "series too short to difference");
+  std::vector<double> out(series.begin(), series.end());
+  for (int round = 0; round < d; ++round) {
+    for (std::size_t t = out.size() - 1; t > 0; --t) out[t] -= out[t - 1];
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+std::vector<double> integrate(std::span<const double> increments, std::span<const double> tail,
+                              int d) {
+  SHERIFF_REQUIRE(d >= 0, "integration order must be non-negative");
+  SHERIFF_REQUIRE(static_cast<int>(tail.size()) == d, "integrate needs exactly d tail values");
+  if (d == 0) return {increments.begin(), increments.end()};
+
+  // Build the d "last difference levels" from the tail: level[0] is the
+  // last original value, level[j] the last j-th difference.
+  std::vector<double> level(d);
+  {
+    std::vector<double> work(tail.begin(), tail.end());
+    for (int j = 0; j < d; ++j) {
+      level[j] = work.back();
+      for (std::size_t t = work.size() - 1; t > 0; --t) work[t] -= work[t - 1];
+      work.erase(work.begin());
+    }
+  }
+
+  std::vector<double> out;
+  out.reserve(increments.size());
+  for (double inc : increments) {
+    // Cascade the new d-th difference down to the original scale.
+    double value = inc;
+    for (int j = d - 1; j >= 0; --j) {
+      value += level[j];
+      level[j] = value;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<double> lagged(std::span<const double> series, int lag) {
+  SHERIFF_REQUIRE(lag >= 0, "lag must be non-negative");
+  SHERIFF_REQUIRE(series.size() >= static_cast<std::size_t>(lag), "lag exceeds series length");
+  return {series.begin(), series.end() - lag};
+}
+
+std::vector<double> demean(std::span<const double> series, double* mean_out) {
+  const double m = common::mean(series);
+  if (mean_out != nullptr) *mean_out = m;
+  std::vector<double> out(series.begin(), series.end());
+  for (double& x : out) x -= m;
+  return out;
+}
+
+}  // namespace sheriff::ts

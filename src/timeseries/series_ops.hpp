@@ -1,0 +1,29 @@
+#pragma once
+// Lag and difference operators (Sec. IV-B of the paper): L^j Y_t = Y_{t-j},
+// ∇Y_t = Y_t - Y_{t-1}, with ∇^d applied recursively, plus the inverse
+// integration used to map ARMA forecasts of the differenced series back to
+// the original scale.
+
+#include <span>
+#include <vector>
+
+namespace sheriff::ts {
+
+/// First difference applied `d` times; output is `d` elements shorter.
+std::vector<double> difference(std::span<const double> series, int d = 1);
+
+/// Inverse of difference(). `tail` holds the last `d` *original-scale*
+/// running values needed to integrate (for d=1: {Y_T}; for d=2:
+/// {Y_{T-1}, Y_T}), and `increments` is the d-times-differenced
+/// continuation. Returns the original-scale continuation.
+std::vector<double> integrate(std::span<const double> increments, std::span<const double> tail,
+                              int d = 1);
+
+/// Series shifted by `lag` (drops the first `lag` entries' partners):
+/// out[t] = series[t - lag] aligned so out.size() == series.size() - lag.
+std::vector<double> lagged(std::span<const double> series, int lag);
+
+/// Subtracts the mean; returns the centered series and outputs the mean.
+std::vector<double> demean(std::span<const double> series, double* mean_out = nullptr);
+
+}  // namespace sheriff::ts

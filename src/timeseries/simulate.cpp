@@ -1,0 +1,55 @@
+#include "timeseries/simulate.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace sheriff::ts {
+
+std::vector<double> simulate_arma(const std::vector<double>& phi, const std::vector<double>& theta,
+                                  double intercept, double sigma, std::size_t length,
+                                  common::Pcg32& rng, std::size_t burn_in) {
+  SHERIFF_REQUIRE(sigma >= 0.0, "noise sigma must be non-negative");
+  const std::size_t total = length + burn_in;
+  std::vector<double> x(total, 0.0);
+  std::vector<double> z(total, 0.0);
+  for (std::size_t t = 0; t < total; ++t) {
+    z[t] = rng.normal(0.0, sigma);
+    double value = intercept + z[t];
+    for (std::size_t i = 0; i < phi.size(); ++i) {
+      if (t > i) value += phi[i] * x[t - 1 - i];
+    }
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      if (t > j) value += theta[j] * z[t - 1 - j];
+    }
+    x[t] = value;
+  }
+  return {x.begin() + static_cast<std::ptrdiff_t>(burn_in), x.end()};
+}
+
+std::vector<double> simulate_random_walk(double start, double drift, double sigma,
+                                         std::size_t length, common::Pcg32& rng) {
+  std::vector<double> out;
+  out.reserve(length);
+  double value = start;
+  for (std::size_t t = 0; t < length; ++t) {
+    value += drift + rng.normal(0.0, sigma);
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::vector<double> simulate_sine(double amplitude, double period, double noise_sigma,
+                                  std::size_t length, common::Pcg32& rng) {
+  SHERIFF_REQUIRE(period > 0.0, "period must be positive");
+  std::vector<double> out;
+  out.reserve(length);
+  for (std::size_t t = 0; t < length; ++t) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(t) / period;
+    out.push_back(amplitude * std::sin(phase) + rng.normal(0.0, noise_sigma));
+  }
+  return out;
+}
+
+}  // namespace sheriff::ts

@@ -1,0 +1,28 @@
+#pragma once
+// Sampling known processes — ARMA paths, random walks, deterministic
+// seasonal signals — used by tests to verify that the estimators recover
+// planted parameters, and by benches to build controlled inputs.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sheriff::ts {
+
+/// Simulates an ARMA(p,q) path: X_t = c + sum phi_i X_{t-i} +
+/// Z_t + sum theta_j Z_{t-j}, Z ~ N(0, sigma^2). A burn-in prefix is
+/// generated and discarded so the returned path is (near-)stationary.
+std::vector<double> simulate_arma(const std::vector<double>& phi, const std::vector<double>& theta,
+                                  double intercept, double sigma, std::size_t length,
+                                  common::Pcg32& rng, std::size_t burn_in = 200);
+
+/// Random walk with drift: Y_t = Y_{t-1} + drift + N(0, sigma^2).
+std::vector<double> simulate_random_walk(double start, double drift, double sigma,
+                                         std::size_t length, common::Pcg32& rng);
+
+/// Deterministic sinusoid plus optional noise, for NARNET sanity checks.
+std::vector<double> simulate_sine(double amplitude, double period, double noise_sigma,
+                                  std::size_t length, common::Pcg32& rng);
+
+}  // namespace sheriff::ts

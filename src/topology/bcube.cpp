@@ -1,0 +1,103 @@
+#include "topology/bcube.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace sheriff::topo {
+
+namespace {
+
+std::size_t int_pow(std::size_t base, int exp) {
+  std::size_t out = 1;
+  for (int i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+}  // namespace
+
+BCubeShape bcube_shape(const BCubeOptions& options) {
+  const auto n = static_cast<std::size_t>(options.ports);
+  const int k = options.levels;
+  BCubeShape shape{};
+  shape.servers = int_pow(n, k + 1);
+  shape.switches_per_level = int_pow(n, k);
+  shape.switch_levels = static_cast<std::size_t>(k) + 1;
+  shape.links = shape.servers * shape.switch_levels;  // one port per level
+  shape.racks = shape.switches_per_level;             // one rack per level-0 switch
+  return shape;
+}
+
+Topology build_bcube(const BCubeOptions& options) {
+  SHERIFF_REQUIRE(options.ports >= 2, "BCube needs at least 2 ports per switch");
+  SHERIFF_REQUIRE(options.levels >= 1 && options.levels <= 3,
+                  "BCube level out of supported range");
+  const auto n = static_cast<std::size_t>(options.ports);
+  const int k = options.levels;
+  const std::size_t n_servers = int_pow(n, k + 1);
+  const std::size_t switches_per_level = int_pow(n, k);
+
+  Topology topo;
+  topo.set_name("bcube-n" + std::to_string(options.ports) + "-k" + std::to_string(k));
+
+  // Servers, addressed a_k ... a_1 a_0 in base n; server index is the
+  // base-n number. Racks follow the level-0 grouping: digits a_k..a_1.
+  std::vector<RackId> racks(switches_per_level);
+  for (std::size_t r = 0; r < switches_per_level; ++r) {
+    racks[r] = topo.add_rack();
+    const auto [x, y] = rack_position(options.floor, r);
+    topo.set_rack_position(racks[r], x, y);
+  }
+
+  std::vector<NodeId> servers(n_servers);
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    const std::size_t rack_index = s / n;  // strip digit a_0
+    servers[s] = topo.add_node(NodeKind::kHost);
+    topo.assign_host_to_rack(servers[s], racks[rack_index]);
+    const Rack& rk = topo.rack(racks[rack_index]);
+    topo.set_node_position(servers[s], rk.x, rk.y);
+  }
+
+  // Switch levels. A level-i switch is identified by the server address
+  // with digit i removed; it connects the n servers sharing those digits.
+  for (int level = 0; level <= k; ++level) {
+    const std::size_t digit_stride = int_pow(n, level);
+    for (std::size_t sw = 0; sw < switches_per_level; ++sw) {
+      // Rebuild the base address with digit `level` zeroed: split sw into
+      // low (digits below `level`) and high (digits above).
+      const std::size_t low = sw % digit_stride;
+      const std::size_t high = sw / digit_stride;
+      const std::size_t base_address = high * digit_stride * n + low;
+
+      const NodeId sw_node = topo.add_node(
+          level == 0 ? NodeKind::kTorSwitch : NodeKind::kBCubeSwitch, kInvalidRack,
+          /*pod=*/-1, /*level=*/level);
+      if (level == 0) {
+        topo.assign_tor_to_rack(sw_node, racks[sw]);
+        const Rack& rk = topo.rack(racks[sw]);
+        topo.set_node_position(sw_node, rk.x, rk.y);
+      } else {
+        // Higher-level switches sit in extra rows behind the server racks.
+        const auto [x, y] = rack_position(options.floor, sw);
+        topo.set_node_position(sw_node, x,
+                               y + static_cast<double>(level) *
+                                       2.0 * options.floor.row_spacing_m);
+      }
+
+      for (std::size_t port = 0; port < n; ++port) {
+        const std::size_t address = base_address + port * digit_stride;
+        const NodeId server = servers[address];
+        const Node& sn = topo.node(server);
+        const Node& wn = topo.node(sw_node);
+        const double dist = level == 0 ? 1.0 : cable_distance(sn.x, sn.y, wn.x, wn.y);
+        topo.add_link(server, sw_node, options.link_gbps, dist);
+      }
+    }
+  }
+
+  topo.validate();
+  return topo;
+}
+
+}  // namespace sheriff::topo

@@ -1,0 +1,35 @@
+#pragma once
+// BCube builder (Guo et al., SIGCOMM 2009) — the paper's server-centric
+// test topology. BCube(n, k) has n^(k+1) servers, each with k+1 ports,
+// and k+1 levels of n^k switches. A level-i switch connects the n servers
+// whose addresses agree on every digit except digit i.
+//
+// Rack mapping: each level-0 switch and its n servers form one rack (the
+// shim rides on the level-0 switch), matching the paper's per-rack shim
+// deployment; the evaluation's "number of switches each level" sweep
+// (8..48) is BCube(n, 1) with n in that range.
+
+#include "topology/geometry.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::topo {
+
+struct BCubeOptions {
+  int ports = 4;   ///< n: switch port count = servers per level-0 switch
+  int levels = 1;  ///< k: highest level (k+1 switch levels in total)
+  double link_gbps = 1.0;  ///< all BCube links are uniform server—switch links
+  FloorPlan floor;
+};
+
+Topology build_bcube(const BCubeOptions& options);
+
+struct BCubeShape {
+  std::size_t servers;
+  std::size_t switches_per_level;
+  std::size_t switch_levels;
+  std::size_t links;
+  std::size_t racks;
+};
+BCubeShape bcube_shape(const BCubeOptions& options);
+
+}  // namespace sheriff::topo

@@ -1,0 +1,69 @@
+#include "topology/dot_export.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace sheriff::topo {
+
+namespace {
+
+const char* shape_of(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kHost: return "box";
+    case NodeKind::kTorSwitch: return "ellipse";
+    case NodeKind::kAggSwitch: return "hexagon";
+    case NodeKind::kCoreSwitch: return "doubleoctagon";
+    case NodeKind::kBCubeSwitch: return "hexagon";
+  }
+  return "ellipse";
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Topology& topology, const DotOptions& options) {
+  os << "graph \"" << topology.name() << "\" {\n"
+     << "  layout=neato;\n  overlap=false;\n  node [fontsize=9];\n  edge [fontsize=8];\n";
+
+  const auto emit_node = [&](const Node& node) {
+    os << "    n" << node.id << " [label=\"" << to_string(node.kind) << node.id
+       << "\", shape=" << shape_of(node.kind) << "];\n";
+  };
+
+  if (options.cluster_racks) {
+    for (const Rack& rack : topology.racks()) {
+      os << "  subgraph cluster_rack" << rack.id << " {\n    label=\"rack " << rack.id
+         << "\";\n";
+      if (rack.tor != kInvalidNode) emit_node(topology.node(rack.tor));
+      if (options.include_hosts) {
+        for (NodeId host : rack.hosts) emit_node(topology.node(host));
+      }
+      os << "  }\n";
+    }
+  }
+  // Nodes outside any rack (aggregation/core/BCube levels), plus everything
+  // when clustering is off.
+  for (const Node& node : topology.nodes()) {
+    if (!options.include_hosts && node.kind == NodeKind::kHost) continue;
+    if (options.cluster_racks && node.rack != kInvalidRack) continue;
+    os << "  ";
+    emit_node(node);
+  }
+
+  for (const Link& link : topology.links()) {
+    const auto a = topology.node(link.a);
+    const auto b = topology.node(link.b);
+    if (!options.include_hosts &&
+        (a.kind == NodeKind::kHost || b.kind == NodeKind::kHost)) {
+      continue;
+    }
+    os << "  n" << link.a << " -- n" << link.b;
+    if (options.label_capacities) {
+      os << " [label=\"" << common::format_fixed(link.capacity_gbps, 0) << "G\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace sheriff::topo

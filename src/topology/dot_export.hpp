@@ -1,0 +1,20 @@
+#pragma once
+// GraphViz DOT export of a topology — handy for eyeballing the fabrics
+// the builders produce (`dot -Tsvg fabric.dot > fabric.svg`).
+
+#include <iosfwd>
+
+#include "topology/topology.hpp"
+
+namespace sheriff::topo {
+
+struct DotOptions {
+  bool include_hosts = true;        ///< drop hosts for a switches-only view
+  bool label_capacities = true;     ///< edge labels "10G"
+  bool cluster_racks = true;        ///< group each rack in a subgraph box
+};
+
+/// Writes the topology as an undirected DOT graph.
+void write_dot(std::ostream& os, const Topology& topology, const DotOptions& options = {});
+
+}  // namespace sheriff::topo

@@ -1,0 +1,60 @@
+#pragma once
+// Physical entities of a DCN (Sec. II-A/II-C): hosts, ToR / aggregation /
+// core switches (plus BCube's level switches), links with capacity and
+// physical distance, and racks — the paper's smallest management unit,
+// each carrying one shim / delegation node v_i.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sheriff::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using RackId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr RackId kInvalidRack = static_cast<RackId>(-1);
+
+enum class NodeKind : std::uint8_t {
+  kHost,         ///< physical server (h_ij), 1–2U in a rack
+  kTorSwitch,    ///< top-of-rack switch; the shim v_i rides on it
+  kAggSwitch,    ///< aggregation layer switch
+  kCoreSwitch,   ///< core layer switch
+  kBCubeSwitch,  ///< BCube level switch (level stored on the node)
+};
+
+[[nodiscard]] constexpr bool is_switch(NodeKind kind) noexcept {
+  return kind != NodeKind::kHost;
+}
+
+const char* to_string(NodeKind kind) noexcept;
+
+struct Node {
+  NodeId id = kInvalidNode;
+  NodeKind kind = NodeKind::kHost;
+  RackId rack = kInvalidRack;  ///< owning rack for hosts/ToRs; invalid otherwise
+  std::int32_t pod = -1;       ///< Fat-Tree pod index, -1 if N/A
+  std::int32_t level = -1;     ///< BCube switch level, -1 if N/A
+  double x = 0.0;              ///< floor-plan position, meters
+  double y = 0.0;
+};
+
+struct Link {
+  LinkId id = 0;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  double capacity_gbps = 1.0;  ///< C(e), maximum capacity
+  double distance_m = 1.0;     ///< D(e), physical cable run
+};
+
+struct Rack {
+  RackId id = kInvalidRack;
+  NodeId tor = kInvalidNode;
+  std::vector<NodeId> hosts;
+  double x = 0.0;  ///< rack position on the floor plan, meters
+  double y = 0.0;
+};
+
+}  // namespace sheriff::topo

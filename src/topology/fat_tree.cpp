@@ -1,0 +1,112 @@
+#include "topology/fat_tree.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace sheriff::topo {
+
+FatTreeShape fat_tree_shape(const FatTreeOptions& options) {
+  const auto k = static_cast<std::size_t>(options.pods);
+  const std::size_t half = k / 2;
+  FatTreeShape shape{};
+  shape.racks = k * half;
+  shape.hosts = shape.racks * static_cast<std::size_t>(options.hosts_per_rack);
+  shape.tor_switches = k * half;
+  shape.agg_switches = k * half;
+  shape.core_switches = half * half;
+  // host links + ToR-agg links (full bipartite per pod) + agg-core links
+  // (each core connects to one agg per pod).
+  shape.links = shape.hosts + k * half * half + shape.core_switches * k;
+  return shape;
+}
+
+Topology build_fat_tree(const FatTreeOptions& options) {
+  SHERIFF_REQUIRE(options.pods >= 2 && options.pods % 2 == 0,
+                  "fat-tree pod count must be even and >= 2");
+  SHERIFF_REQUIRE(options.hosts_per_rack >= 1, "need at least one host per rack");
+  const int k = options.pods;
+  const int half = k / 2;
+
+  Topology topo;
+  topo.set_name("fat-tree-k" + std::to_string(k));
+
+  // Racks and their geometry (pod-major ordering).
+  const std::size_t total_racks = static_cast<std::size_t>(k) * static_cast<std::size_t>(half);
+  std::vector<RackId> racks(total_racks);
+  for (std::size_t i = 0; i < total_racks; ++i) {
+    racks[i] = topo.add_rack();
+    const auto [x, y] = rack_position(options.floor, i);
+    topo.set_rack_position(racks[i], x, y);
+  }
+
+  // Per pod: ToRs (edge switches) with hosts, and aggregation switches.
+  std::vector<std::vector<NodeId>> agg(k);   // [pod][i]
+  std::vector<std::vector<NodeId>> tors(k);  // [pod][i]
+  for (int pod = 0; pod < k; ++pod) {
+    for (int i = 0; i < half; ++i) {
+      const std::size_t rack_index =
+          static_cast<std::size_t>(pod) * static_cast<std::size_t>(half) +
+          static_cast<std::size_t>(i);
+      const RackId rack = racks[rack_index];
+      const auto [rx, ry] = rack_position(options.floor, rack_index);
+
+      const NodeId tor = topo.add_node(NodeKind::kTorSwitch, kInvalidRack, pod);
+      topo.assign_tor_to_rack(tor, rack);
+      topo.set_node_position(tor, rx, ry);
+      tors[pod].push_back(tor);
+
+      for (int h = 0; h < options.hosts_per_rack; ++h) {
+        const NodeId host = topo.add_node(NodeKind::kHost, kInvalidRack, pod);
+        topo.assign_host_to_rack(host, rack);
+        topo.set_node_position(host, rx, ry);
+        // Intra-rack patch cable.
+        topo.add_link(host, tor, options.host_link_gbps, 1.0);
+      }
+    }
+    for (int i = 0; i < half; ++i) {
+      const NodeId a = topo.add_node(NodeKind::kAggSwitch, kInvalidRack, pod);
+      // Aggregation switches sit in the pod's first rack row position.
+      const std::size_t anchor_index =
+          static_cast<std::size_t>(pod) * static_cast<std::size_t>(half);
+      const auto [ax, ay] = rack_position(options.floor, anchor_index);
+      topo.set_node_position(a, ax, ay);
+      agg[pod].push_back(a);
+    }
+    // Full bipartite ToR — aggregation inside the pod.
+    for (int i = 0; i < half; ++i) {
+      for (int j = 0; j < half; ++j) {
+        const NodeId tor = tors[pod][static_cast<std::size_t>(i)];
+        const NodeId a = agg[pod][static_cast<std::size_t>(j)];
+        const Node& tn = topo.node(tor);
+        const Node& an = topo.node(a);
+        topo.add_link(tor, a, options.tor_agg_gbps,
+                      cable_distance(tn.x, tn.y, an.x, an.y));
+      }
+    }
+  }
+
+  // Core layer: (k/2)^2 switches; core (i, j) connects to agg j of each pod.
+  for (int i = 0; i < half; ++i) {
+    for (int j = 0; j < half; ++j) {
+      const NodeId core = topo.add_node(NodeKind::kCoreSwitch);
+      // Cores live in a dedicated middle row of the hall.
+      const auto [cx, cy] =
+          rack_position(options.floor, static_cast<std::size_t>(i * half + j));
+      topo.set_node_position(core, cx, cy + 2.0 * options.floor.row_spacing_m);
+      for (int pod = 0; pod < k; ++pod) {
+        const NodeId a = agg[pod][static_cast<std::size_t>(j)];
+        const Node& an = topo.node(a);
+        const Node& cn = topo.node(core);
+        topo.add_link(a, core, options.agg_core_gbps,
+                      cable_distance(an.x, an.y, cn.x, cn.y));
+      }
+    }
+  }
+
+  topo.validate();
+  return topo;
+}
+
+}  // namespace sheriff::topo

@@ -1,0 +1,37 @@
+#pragma once
+// Fat-Tree builder (Al-Fares et al., SIGCOMM 2008; the paper's Fig. 1 uses
+// the 8-pod instance). A k-pod Fat-Tree has k pods of k/2 ToR and k/2
+// aggregation switches each, (k/2)^2 core switches, and every ToR serves
+// one rack of hosts.
+
+#include "topology/geometry.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::topo {
+
+struct FatTreeOptions {
+  int pods = 8;             ///< k; must be even and >= 2
+  int hosts_per_rack = 4;   ///< servers under each ToR (classic value is k/2;
+                            ///< the paper's facility description uses 40)
+  double host_link_gbps = 1.0;    ///< host — ToR
+  double tor_agg_gbps = 10.0;     ///< ToR — aggregation (Sec. II-A; the
+                                  ///< evaluation of Sec. VI-B sets this to 1)
+  double agg_core_gbps = 10.0;    ///< aggregation — core
+  FloorPlan floor;
+};
+
+/// Builds and validates the topology. Racks are numbered pod-major.
+Topology build_fat_tree(const FatTreeOptions& options);
+
+/// Node/link count formulas, exposed so tests can check the builder.
+struct FatTreeShape {
+  std::size_t racks;
+  std::size_t hosts;
+  std::size_t tor_switches;
+  std::size_t agg_switches;
+  std::size_t core_switches;
+  std::size_t links;
+};
+FatTreeShape fat_tree_shape(const FatTreeOptions& options);
+
+}  // namespace sheriff::topo

@@ -1,0 +1,23 @@
+#include "topology/geometry.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace sheriff::topo {
+
+std::pair<double, double> rack_position(const FloorPlan& plan, std::size_t rack_index) {
+  SHERIFF_REQUIRE(plan.racks_per_row > 0, "racks_per_row must be positive");
+  const std::size_t row = rack_index / plan.racks_per_row;
+  const std::size_t col = rack_index % plan.racks_per_row;
+  const double x = (static_cast<double>(col) + 0.5) * plan.rack_width_m;
+  const double y = static_cast<double>(row) * (plan.rack_depth_m + plan.row_spacing_m);
+  return {x, y};
+}
+
+double cable_distance(double ax, double ay, double bx, double by) {
+  constexpr double kPatchingAllowance = 2.0;  // 1 m at each end
+  return std::fabs(ax - bx) + std::fabs(ay - by) + kPatchingAllowance;
+}
+
+}  // namespace sheriff::topo

@@ -1,0 +1,26 @@
+#pragma once
+// Floor-plan geometry (Sec. II-A): standard racks 0.6 m wide, 1 m deep,
+// 2 m tall, placed side by side in rows with ~2 m aisles. Link distances
+// D(e) in the migration cost model derive from these positions.
+
+#include <cstddef>
+#include <utility>
+
+namespace sheriff::topo {
+
+struct FloorPlan {
+  double rack_width_m = 0.6;
+  double rack_depth_m = 1.0;
+  double row_spacing_m = 2.0;      ///< aisle between rows
+  std::size_t racks_per_row = 16;  ///< layout fold width
+};
+
+/// Position (x, y) of the rack with the given index under the plan.
+std::pair<double, double> rack_position(const FloorPlan& plan, std::size_t rack_index);
+
+/// Cable-run distance between two floor positions: Manhattan distance
+/// (cables follow trays along rows and across aisles) plus a fixed 1 m of
+/// intra-rack patching at each end.
+double cable_distance(double ax, double ay, double bx, double by);
+
+}  // namespace sheriff::topo

@@ -1,0 +1,84 @@
+#include "topology/three_tier.hpp"
+
+#include <string>
+
+#include "common/require.hpp"
+
+namespace sheriff::topo {
+
+ThreeTierShape three_tier_shape(const ThreeTierOptions& options) {
+  ThreeTierShape shape{};
+  shape.racks = static_cast<std::size_t>(options.racks);
+  shape.hosts = shape.racks * static_cast<std::size_t>(options.hosts_per_rack);
+  shape.tor_switches = shape.racks;
+  shape.agg_switches = static_cast<std::size_t>(
+      (options.racks + options.racks_per_agg - 1) / options.racks_per_agg);
+  shape.core_switches = static_cast<std::size_t>(options.core_switches);
+  // host links + one uplink per ToR + full bipartite agg-core.
+  shape.links = shape.hosts + shape.tor_switches + shape.agg_switches * shape.core_switches;
+  return shape;
+}
+
+Topology build_three_tier(const ThreeTierOptions& options) {
+  SHERIFF_REQUIRE(options.racks >= 1, "need at least one rack");
+  SHERIFF_REQUIRE(options.hosts_per_rack >= 1, "need at least one host per rack");
+  SHERIFF_REQUIRE(options.racks_per_agg >= 1, "racks_per_agg must be positive");
+  SHERIFF_REQUIRE(options.core_switches >= 1, "need at least one core switch");
+
+  Topology topo;
+  topo.set_name("three-tier-r" + std::to_string(options.racks));
+
+  const auto shape = three_tier_shape(options);
+
+  // Aggregation switches first (positioned over their rack group).
+  std::vector<NodeId> agg(shape.agg_switches);
+  for (std::size_t a = 0; a < shape.agg_switches; ++a) {
+    agg[a] = topo.add_node(NodeKind::kAggSwitch);
+    const auto [x, y] =
+        rack_position(options.floor, a * static_cast<std::size_t>(options.racks_per_agg));
+    topo.set_node_position(agg[a], x, y + options.floor.row_spacing_m);
+  }
+
+  // Core layer in a back row.
+  std::vector<NodeId> core(shape.core_switches);
+  for (std::size_t c = 0; c < shape.core_switches; ++c) {
+    core[c] = topo.add_node(NodeKind::kCoreSwitch);
+    const auto [x, y] = rack_position(options.floor, c);
+    topo.set_node_position(core[c], x, y + 3.0 * options.floor.row_spacing_m);
+    for (std::size_t a = 0; a < shape.agg_switches; ++a) {
+      const auto& an = topo.node(agg[a]);
+      const auto& cn = topo.node(core[c]);
+      topo.add_link(agg[a], core[c], options.agg_core_gbps,
+                    cable_distance(an.x, an.y, cn.x, cn.y));
+    }
+  }
+
+  // Racks: ToR + hosts; each ToR single-homed to its group's agg switch —
+  // the legacy tree's defining (and fragile) property.
+  for (int r = 0; r < options.racks; ++r) {
+    const RackId rack = topo.add_rack();
+    const auto [rx, ry] = rack_position(options.floor, static_cast<std::size_t>(r));
+    topo.set_rack_position(rack, rx, ry);
+
+    const NodeId tor = topo.add_node(NodeKind::kTorSwitch);
+    topo.assign_tor_to_rack(tor, rack);
+    topo.set_node_position(tor, rx, ry);
+
+    for (int h = 0; h < options.hosts_per_rack; ++h) {
+      const NodeId host = topo.add_node(NodeKind::kHost);
+      topo.assign_host_to_rack(host, rack);
+      topo.set_node_position(host, rx, ry);
+      topo.add_link(host, tor, options.host_link_gbps, 1.0);
+    }
+
+    const std::size_t group = static_cast<std::size_t>(r / options.racks_per_agg);
+    const auto& an = topo.node(agg[group]);
+    topo.add_link(tor, agg[group], options.tor_agg_gbps,
+                  cable_distance(rx, ry, an.x, an.y));
+  }
+
+  topo.validate();
+  return topo;
+}
+
+}  // namespace sheriff::topo

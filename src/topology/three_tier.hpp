@@ -1,0 +1,38 @@
+#pragma once
+// Legacy three-tier tree builder: racks single-homed to an aggregation
+// switch, aggregation fully meshed to a small core. The paper positions
+// Sheriff as topology-agnostic ("can be easily implemented in other DCN
+// topologies"); this is the classic oversubscribed enterprise fabric that
+// claim is usually tested against — no ECMP redundancy below the core, so
+// reroute options are scarce and pre-alert migration does the heavy
+// lifting.
+
+#include "topology/geometry.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::topo {
+
+struct ThreeTierOptions {
+  int racks = 16;
+  int hosts_per_rack = 4;
+  int racks_per_agg = 4;        ///< racks sharing one aggregation switch
+  int core_switches = 2;
+  double host_link_gbps = 1.0;
+  double tor_agg_gbps = 10.0;
+  double agg_core_gbps = 10.0;
+  FloorPlan floor;
+};
+
+Topology build_three_tier(const ThreeTierOptions& options);
+
+struct ThreeTierShape {
+  std::size_t racks;
+  std::size_t hosts;
+  std::size_t tor_switches;
+  std::size_t agg_switches;
+  std::size_t core_switches;
+  std::size_t links;
+};
+ThreeTierShape three_tier_shape(const ThreeTierOptions& options);
+
+}  // namespace sheriff::topo

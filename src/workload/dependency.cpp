@@ -1,0 +1,36 @@
+#include "workload/dependency.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace sheriff::wl {
+
+DependencyGraph::DependencyGraph(std::size_t vm_count) : adjacency_(vm_count) {}
+
+void DependencyGraph::resize(std::size_t vm_count) {
+  SHERIFF_REQUIRE(vm_count >= adjacency_.size(), "shrinking would orphan edges");
+  adjacency_.resize(vm_count);
+}
+
+void DependencyGraph::add_dependency(VmId a, VmId b) {
+  SHERIFF_REQUIRE(a < adjacency_.size() && b < adjacency_.size(), "VM id out of range");
+  SHERIFF_REQUIRE(a != b, "a VM cannot depend on itself");
+  if (depends(a, b)) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++edge_count_;
+}
+
+bool DependencyGraph::depends(VmId a, VmId b) const {
+  SHERIFF_REQUIRE(a < adjacency_.size() && b < adjacency_.size(), "VM id out of range");
+  const auto& edges = adjacency_[a];
+  return std::find(edges.begin(), edges.end(), b) != edges.end();
+}
+
+std::span<const VmId> DependencyGraph::neighbors(VmId vm) const {
+  SHERIFF_REQUIRE(vm < adjacency_.size(), "VM id out of range");
+  return adjacency_[vm];
+}
+
+}  // namespace sheriff::wl

@@ -1,0 +1,34 @@
+#pragma once
+// Dependency graph G_d (Sec. II-C): edges join VMs that communicate /
+// depend on each other. It doubles as the conflict graph for migration —
+// two dependent VMs must not share a physical host.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "workload/vm.hpp"
+
+namespace sheriff::wl {
+
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(std::size_t vm_count = 0);
+
+  [[nodiscard]] std::size_t vm_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  void resize(std::size_t vm_count);
+  /// Adds an (undirected) dependency a—b; duplicate edges are ignored.
+  void add_dependency(VmId a, VmId b);
+
+  [[nodiscard]] bool depends(VmId a, VmId b) const;
+  /// N_d(v): the VM's dependency neighbors (excluding itself).
+  [[nodiscard]] std::span<const VmId> neighbors(VmId vm) const;
+
+ private:
+  std::vector<std::vector<VmId>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace sheriff::wl

@@ -1,0 +1,45 @@
+#include "workload/profile.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "common/table.hpp"
+
+namespace sheriff::wl {
+
+const char* to_string(Feature feature) noexcept {
+  switch (feature) {
+    case Feature::kCpu: return "cpu";
+    case Feature::kMemory: return "mem";
+    case Feature::kDiskIo: return "io";
+    case Feature::kTraffic: return "trf";
+  }
+  return "unknown";
+}
+
+double WorkloadProfile::max_component() const noexcept {
+  return *std::max_element(values.begin(), values.end());
+}
+
+bool WorkloadProfile::any_exceeds(double threshold) const noexcept {
+  return std::any_of(values.begin(), values.end(),
+                     [threshold](double v) { return v > threshold; });
+}
+
+void WorkloadProfile::clamp() {
+  for (double& v : values) v = common::clamp01(v);
+}
+
+std::string WorkloadProfile::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < kFeatureCount; ++i) {
+    if (i > 0) out += ", ";
+    out += sheriff::wl::to_string(static_cast<Feature>(i));
+    out += "=";
+    out += common::format_fixed(values[i], 2);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace sheriff::wl

@@ -1,0 +1,34 @@
+#pragma once
+// Workload profile W^k_ij = [CPU, MEM, IO, TRF] (Sec. IV-A): the four
+// monitored features of a VM, each normalized to [0, 1].
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace sheriff::wl {
+
+enum class Feature : std::size_t { kCpu = 0, kMemory = 1, kDiskIo = 2, kTraffic = 3 };
+inline constexpr std::size_t kFeatureCount = 4;
+
+const char* to_string(Feature feature) noexcept;
+
+struct WorkloadProfile {
+  std::array<double, kFeatureCount> values{};  ///< each in [0, 1]
+
+  [[nodiscard]] double operator[](Feature f) const noexcept {
+    return values[static_cast<std::size_t>(f)];
+  }
+  double& operator[](Feature f) noexcept { return values[static_cast<std::size_t>(f)]; }
+
+  /// Largest component — the alert magnitude basis of Sec. IV-C.
+  [[nodiscard]] double max_component() const noexcept;
+  /// True when any component exceeds `threshold`.
+  [[nodiscard]] bool any_exceeds(double threshold) const noexcept;
+  /// Clamps every component into [0, 1].
+  void clamp();
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace sheriff::wl

@@ -1,0 +1,33 @@
+#pragma once
+// Virtual machine model (Sec. II-C): the unit of resource allocation. Each
+// VM m^k_ij lives on a host, carries an integer capacity (Mbps is the
+// paper's minimum capacity unit), a value (importance; PRIORITY prefers to
+// move low-value VMs), a delay-sensitivity flag (delay-sensitive VMs are
+// never migrated), and its current workload profile.
+
+#include <cstdint>
+
+#include "topology/entities.hpp"
+#include "workload/profile.hpp"
+
+namespace sheriff::wl {
+
+using VmId = std::uint32_t;
+inline constexpr VmId kInvalidVm = static_cast<VmId>(-1);
+
+struct VirtualMachine {
+  VmId id = kInvalidVm;
+  topo::NodeId host = topo::kInvalidNode;
+  int capacity = 1;              ///< resource size in capacity units (<= 20 in Sec. VI-B)
+  double value = 1.0;            ///< importance weight used by PRIORITY
+  bool delay_sensitive = false;  ///< excluded from migration by Alg. 2
+  WorkloadProfile profile;       ///< current measured workload
+
+  /// Capacity-weighted effective load this VM puts on its host; the CPU
+  /// component is the paper's primary overload driver.
+  [[nodiscard]] double effective_load() const noexcept {
+    return static_cast<double>(capacity) * profile[Feature::kCpu];
+  }
+};
+
+}  // namespace sheriff::wl

@@ -1,0 +1,220 @@
+// ARIMA estimation and forecasting tests: parameter recovery on simulated
+// processes, forecast sanity on deterministic signals, one-step prediction
+// consistency, and Box–Jenkins automatic order selection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "timeseries/arima.hpp"
+#include "timeseries/box_jenkins.hpp"
+#include "timeseries/simulate.hpp"
+
+namespace ts = sheriff::ts;
+namespace sc = sheriff::common;
+
+TEST(LagPolynomial, StabilityConditions) {
+  EXPECT_TRUE(ts::lag_polynomial_is_stable(std::vector<double>{}));
+  EXPECT_TRUE(ts::lag_polynomial_is_stable(std::vector<double>{0.9}));
+  EXPECT_FALSE(ts::lag_polynomial_is_stable(std::vector<double>{1.1}));
+  EXPECT_TRUE(ts::lag_polynomial_is_stable(std::vector<double>{0.5, 0.3}));
+  EXPECT_FALSE(ts::lag_polynomial_is_stable(std::vector<double>{0.9, 0.3}));  // sum > 1
+  // Order 3: x_t = 0.3 x_{t-1} + 0.3 x_{t-2} + 0.3 x_{t-3} is stable.
+  EXPECT_TRUE(ts::lag_polynomial_is_stable(std::vector<double>{0.3, 0.3, 0.3}));
+  EXPECT_FALSE(ts::lag_polynomial_is_stable(std::vector<double>{0.5, 0.4, 0.3}));
+}
+
+TEST(Arima, RecoversAr1Coefficient) {
+  sc::Pcg32 rng(21);
+  const double phi = 0.65;
+  const auto x = ts::simulate_arma({phi}, {}, 0.5, 1.0, 3000, rng);
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 0});
+  model.fit(x);
+  ASSERT_EQ(model.ar_coefficients().size(), 1u);
+  EXPECT_NEAR(model.ar_coefficients()[0], phi, 0.05);
+  EXPECT_NEAR(model.innovation_variance(), 1.0, 0.1);
+}
+
+TEST(Arima, RecoversMa1Coefficient) {
+  sc::Pcg32 rng(22);
+  const double theta = 0.5;
+  const auto x = ts::simulate_arma({}, {theta}, 0.0, 1.0, 4000, rng);
+  ts::ArimaModel model(ts::ArimaOrder{0, 0, 1});
+  model.fit(x);
+  ASSERT_EQ(model.ma_coefficients().size(), 1u);
+  EXPECT_NEAR(model.ma_coefficients()[0], theta, 0.07);
+}
+
+TEST(Arima, RecoversArma11) {
+  sc::Pcg32 rng(23);
+  const auto x = ts::simulate_arma({0.6}, {0.3}, 0.0, 1.0, 6000, rng);
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 1});
+  model.fit(x);
+  EXPECT_NEAR(model.ar_coefficients()[0], 0.6, 0.08);
+  EXPECT_NEAR(model.ma_coefficients()[0], 0.3, 0.1);
+}
+
+TEST(Arima, LinearTrendForecastWithD1) {
+  // Y_t = 5 + 2t: first difference is constant 2, so an ARIMA(0,1,0)-like
+  // fit must forecast the trend exactly.
+  std::vector<double> xs;
+  for (int t = 0; t < 80; ++t) xs.push_back(5.0 + 2.0 * t);
+  ts::ArimaModel model(ts::ArimaOrder{0, 1, 0});
+  model.fit(xs);
+  const auto f = model.forecast(xs, 5);
+  ASSERT_EQ(f.size(), 5u);
+  for (std::size_t h = 0; h < 5; ++h) {
+    EXPECT_NEAR(f[h], 5.0 + 2.0 * (80.0 + static_cast<double>(h)), 1e-6);
+  }
+}
+
+TEST(Arima, KStepForecastConvergesToProcessMean) {
+  sc::Pcg32 rng(24);
+  const double phi = 0.5;
+  const double c = 2.0;  // process mean = c / (1 - phi) = 4
+  const auto x = ts::simulate_arma({phi}, {}, c, 1.0, 4000, rng);
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 0});
+  model.fit(x);
+  const auto f = model.forecast(x, 200);
+  EXPECT_NEAR(f.back(), 4.0, 0.3);
+}
+
+TEST(Arima, OneStepPredictionsBeatNaiveOnAr) {
+  sc::Pcg32 rng(25);
+  const auto x = ts::simulate_arma({0.8}, {}, 0.0, 1.0, 1500, rng);
+  const std::vector<double> train(x.begin(), x.begin() + 1000);
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 0});
+  model.fit(train);
+
+  const auto preds = model.one_step_predictions(x, 1000);
+  ASSERT_EQ(preds.size(), 500u);
+  std::vector<double> actual(x.begin() + 1000, x.end());
+  std::vector<double> naive(x.begin() + 999, x.end() - 1);
+  const double model_mse = sc::mean_squared_error(actual, preds);
+  const double naive_mse = sc::mean_squared_error(actual, naive);
+  EXPECT_LT(model_mse, naive_mse);
+  // Theoretical one-step MSE is sigma^2 = 1.
+  EXPECT_NEAR(model_mse, 1.0, 0.15);
+}
+
+TEST(Arima, ForecastBeforeFitThrows) {
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 0});
+  const std::vector<double> h{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)model.forecast(h, 1), sc::RequirementError);
+}
+
+TEST(Arima, TooShortSeriesThrows) {
+  ts::ArimaModel model(ts::ArimaOrder{2, 1, 2});
+  const std::vector<double> tiny{1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(model.fit(tiny), sc::RequirementError);
+}
+
+TEST(Arima, RejectsAbsurdOrders) {
+  EXPECT_THROW(ts::ArimaModel(ts::ArimaOrder{-1, 0, 0}), sc::RequirementError);
+  EXPECT_THROW(ts::ArimaModel(ts::ArimaOrder{20, 0, 0}), sc::RequirementError);
+  EXPECT_THROW(ts::ArimaModel(ts::ArimaOrder{1, 9, 1}), sc::RequirementError);
+}
+
+TEST(Arima, AiccPrefersTrueOrderOverOverfit) {
+  sc::Pcg32 rng(26);
+  const auto x = ts::simulate_arma({0.7}, {}, 0.0, 1.0, 2000, rng);
+  ts::ArimaModel right(ts::ArimaOrder{1, 0, 0});
+  right.fit(x);
+  ts::ArimaModel heavy(ts::ArimaOrder{3, 0, 3});
+  heavy.fit(x);
+  EXPECT_LT(right.aicc(), heavy.aicc() + 2.0);  // parsimony should not lose badly
+}
+
+TEST(BoxJenkins, SelectsDifferencingForRandomWalk) {
+  sc::Pcg32 rng(27);
+  const auto walk = ts::simulate_random_walk(0.0, 0.05, 1.0, 1500, rng);
+  EXPECT_EQ(ts::select_differencing_order(walk, 2), 1);
+  const auto stationary = ts::simulate_arma({0.4}, {}, 0.0, 1.0, 1500, rng);
+  EXPECT_EQ(ts::select_differencing_order(stationary, 2), 0);
+}
+
+TEST(BoxJenkins, SelectionProducesUsableModel) {
+  sc::Pcg32 rng(28);
+  const auto x = ts::simulate_arma({0.6}, {0.2}, 1.0, 1.0, 800, rng);
+  const auto selection = ts::select_arima(x);
+  EXPECT_GT(selection.candidates_tried, 5);
+  ASSERT_TRUE(selection.model.fitted());
+  EXPECT_EQ(selection.model.order().d, 0);
+  const auto f = selection.model.forecast(x, 3);
+  EXPECT_EQ(f.size(), 3u);
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Arima, PsiWeightsOfAr1AreGeometric) {
+  sc::Pcg32 rng(29);
+  const double phi = 0.6;
+  const auto x = ts::simulate_arma({phi}, {}, 0.0, 1.0, 4000, rng);
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 0});
+  model.fit(x);
+  const auto psi = model.psi_weights(5);
+  const double est = model.ar_coefficients()[0];
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  for (std::size_t j = 1; j < psi.size(); ++j) {
+    EXPECT_NEAR(psi[j], std::pow(est, static_cast<double>(j)), 1e-12);
+  }
+}
+
+TEST(Arima, IntervalsWidenWithHorizonAndCover) {
+  sc::Pcg32 rng(30);
+  const auto x = ts::simulate_arma({0.5}, {}, 0.0, 1.0, 3000, rng);
+  const std::vector<double> train(x.begin(), x.begin() + 2000);
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 0});
+  model.fit(train);
+
+  const auto intervals = model.forecast_with_intervals(train, 10);
+  ASSERT_EQ(intervals.size(), 10u);
+  for (std::size_t h = 1; h < intervals.size(); ++h) {
+    EXPECT_GE(intervals[h].stderr_, intervals[h - 1].stderr_ - 1e-12);  // non-decreasing
+    EXPECT_LT(intervals[h].lower, intervals[h].mean);
+    EXPECT_GT(intervals[h].upper, intervals[h].mean);
+  }
+  // One-step stderr ~ sigma = 1; 95% band ~ +-1.96.
+  EXPECT_NEAR(intervals[0].stderr_, 1.0, 0.1);
+
+  // Empirical coverage of the one-step 95% interval over the test tail.
+  std::size_t covered = 0;
+  std::size_t total = 0;
+  for (std::size_t t = 2000; t + 1 < x.size(); t += 10) {
+    const std::span<const double> history(x.data(), t);
+    const auto iv = model.forecast_with_intervals(history, 1).front();
+    covered += (x[t] >= iv.lower && x[t] <= iv.upper) ? 1 : 0;
+    ++total;
+  }
+  const double coverage = static_cast<double>(covered) / static_cast<double>(total);
+  EXPECT_GT(coverage, 0.88);
+  EXPECT_LT(coverage, 1.0);
+}
+
+TEST(Arima, IntegratedIntervalsGrowFaster) {
+  // For a random walk (d=1) the forecast variance grows linearly in h,
+  // much faster than any stationary ARMA's.
+  sc::Pcg32 rng(31);
+  const auto walk = ts::simulate_random_walk(0.0, 0.0, 1.0, 2000, rng);
+  ts::ArimaModel model(ts::ArimaOrder{0, 1, 0});
+  model.fit(walk);
+  const auto intervals = model.forecast_with_intervals(walk, 9);
+  // stderr(h) = sigma * sqrt(h): stderr(9) / stderr(1) = 3.
+  EXPECT_NEAR(intervals[8].stderr_ / intervals[0].stderr_, 3.0, 0.05);
+}
+
+class ArimaRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArimaRecovery, Ar1AcrossCoefficients) {
+  const double phi = GetParam();
+  sc::Pcg32 rng(static_cast<std::uint64_t>(std::llround((phi + 2.0) * 1000)));
+  const auto x = ts::simulate_arma({phi}, {}, 0.0, 1.0, 4000, rng);
+  ts::ArimaModel model(ts::ArimaOrder{1, 0, 0});
+  model.fit(x);
+  EXPECT_NEAR(model.ar_coefficients()[0], phi, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Coefficients, ArimaRecovery,
+                         ::testing::Values(-0.7, -0.4, -0.1, 0.2, 0.5, 0.8));

@@ -1,0 +1,187 @@
+// Core tests: alert scheme (Sec. IV-C), the per-VM predictors, and the
+// PRIORITY selection function (Alg. 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "core/alert.hpp"
+#include "core/predictor.hpp"
+#include "core/priority.hpp"
+#include "topology/fat_tree.hpp"
+#include "workload/deployment.hpp"
+
+namespace core = sheriff::core;
+namespace wl = sheriff::wl;
+namespace topo = sheriff::topo;
+namespace sc = sheriff::common;
+
+namespace {
+
+wl::WorkloadProfile profile(double cpu, double mem, double io, double trf) {
+  wl::WorkloadProfile p;
+  p[wl::Feature::kCpu] = cpu;
+  p[wl::Feature::kMemory] = mem;
+  p[wl::Feature::kDiskIo] = io;
+  p[wl::Feature::kTraffic] = trf;
+  return p;
+}
+
+const topo::Topology& test_topology() {
+  static const topo::Topology t = [] {
+    topo::FatTreeOptions options;
+    options.pods = 4;
+    options.hosts_per_rack = 3;
+    return topo::build_fat_tree(options);
+  }();
+  return t;
+}
+
+}  // namespace
+
+TEST(AlertScheme, FiresOnlyAboveThreshold) {
+  const core::AlertScheme scheme(0.9);
+  EXPECT_DOUBLE_EQ(scheme.vm_alert(profile(0.5, 0.5, 0.5, 0.5)), 0.0);
+  EXPECT_FALSE(scheme.fires(profile(0.9, 0.1, 0.1, 0.1)));  // exactly at threshold: no
+  EXPECT_DOUBLE_EQ(scheme.vm_alert(profile(0.95, 0.1, 0.1, 0.1)), 0.95);
+  // ALERT is the max component even when a *different* one crossed.
+  EXPECT_DOUBLE_EQ(scheme.vm_alert(profile(0.92, 0.97, 0.1, 0.1)), 0.97);
+}
+
+TEST(AlertScheme, ThresholdValidation) {
+  EXPECT_THROW(core::AlertScheme(0.0), sc::RequirementError);
+  EXPECT_THROW(core::AlertScheme(1.5), sc::RequirementError);
+}
+
+TEST(AlertSource, Names) {
+  EXPECT_STREQ(core::to_string(core::AlertSource::kHost), "host");
+  EXPECT_STREQ(core::to_string(core::AlertSource::kLocalTor), "local-tor");
+  EXPECT_STREQ(core::to_string(core::AlertSource::kOuterSwitch), "outer-switch");
+}
+
+TEST(HoltPredictor, TracksLinearTrend) {
+  core::HoltProfilePredictor predictor(0.8, 0.5);
+  for (int t = 0; t < 40; ++t) {
+    predictor.observe(profile(0.01 * t, 0.5, 0.5, 0.5));
+  }
+  ASSERT_TRUE(predictor.ready());
+  const auto p1 = predictor.predict(1);
+  EXPECT_NEAR(p1[wl::Feature::kCpu], 0.40, 0.03);
+  const auto p5 = predictor.predict(5);
+  EXPECT_GT(p5[wl::Feature::kCpu], p1[wl::Feature::kCpu]);  // extrapolates the trend
+  EXPECT_NEAR(p1[wl::Feature::kMemory], 0.5, 1e-6);         // flat features stay flat
+}
+
+TEST(HoltPredictor, PredictionsClampToUnit) {
+  core::HoltProfilePredictor predictor(0.9, 0.9);
+  for (int t = 0; t < 20; ++t) predictor.observe(profile(0.05 * t, 0.0, 0.0, 0.0));
+  const auto p = predictor.predict(50);
+  EXPECT_LE(p[wl::Feature::kCpu], 1.0);
+  EXPECT_GE(p[wl::Feature::kTraffic], 0.0);
+}
+
+TEST(HoltPredictor, NotReadyBeforeTwoSamples) {
+  core::HoltProfilePredictor predictor;
+  EXPECT_FALSE(predictor.ready());
+  predictor.observe(profile(0.5, 0.5, 0.5, 0.5));
+  EXPECT_FALSE(predictor.ready());
+  predictor.observe(profile(0.5, 0.5, 0.5, 0.5));
+  EXPECT_TRUE(predictor.ready());
+}
+
+TEST(EnsemblePredictor, FitsAfterMinSamplesAndPredicts) {
+  core::EnsembleProfilePredictor::Options options;
+  options.min_fit = 48;
+  options.history = 64;
+  options.refit_interval = 1000;  // fit once
+  core::EnsembleProfilePredictor predictor(options);
+  for (int t = 0; t < 60; ++t) {
+    const double cpu = 0.5 + 0.3 * std::sin(t / 6.0);
+    predictor.observe(profile(cpu, 0.4, 0.3, 0.2));
+    if (t < 47) {
+      EXPECT_FALSE(predictor.ready());
+    }
+  }
+  ASSERT_TRUE(predictor.ready());
+  const auto p = predictor.predict(1);
+  for (double v : p.values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_FALSE(predictor.current_model(wl::Feature::kCpu).empty());
+}
+
+TEST(Priority, SingleModePicksMaxAlert) {
+  wl::DeploymentOptions options;
+  options.seed = 42;
+  options.delay_sensitive_fraction = 0.0;
+  const wl::Deployment d(test_topology(), options);
+  const std::vector<wl::VmId> candidates{0, 1, 2, 3};
+  const std::vector<double> alerts{0.91, 0.99, 0.95, 0.0};
+  const auto sel = core::priority_select(d, candidates, alerts, core::PriorityMode::kSingle, 0);
+  ASSERT_EQ(sel.selected.size(), 1u);
+  EXPECT_EQ(sel.selected[0], 1u);
+  EXPECT_EQ(sel.offloaded_capacity, d.vm(1).capacity);
+}
+
+TEST(Priority, EliminatesDelaySensitive) {
+  wl::DeploymentOptions options;
+  options.seed = 43;
+  options.delay_sensitive_fraction = 1.0;  // everyone is delay-sensitive
+  const wl::Deployment d(test_topology(), options);
+  const std::vector<wl::VmId> candidates{0, 1, 2};
+  const std::vector<double> alerts{0.95, 0.96, 0.97};
+  const auto single =
+      core::priority_select(d, candidates, alerts, core::PriorityMode::kSingle, 0);
+  EXPECT_TRUE(single.selected.empty());
+  EXPECT_EQ(single.eliminated_delay_sensitive, 3u);
+  const auto knap = core::priority_select(d, candidates, alerts, core::PriorityMode::kBeta, 50);
+  EXPECT_TRUE(knap.selected.empty());
+}
+
+TEST(Priority, KnapsackRespectsBudget) {
+  wl::DeploymentOptions options;
+  options.seed = 44;
+  options.delay_sensitive_fraction = 0.0;
+  const wl::Deployment d(test_topology(), options);
+  std::vector<wl::VmId> candidates;
+  for (wl::VmId id = 0; id < 10; ++id) candidates.push_back(id);
+  const int budget = 25;
+  const auto sel = core::priority_select(d, candidates, {}, core::PriorityMode::kAlpha, budget);
+  EXPECT_LE(sel.offloaded_capacity, budget);
+  int cap = 0;
+  double value = 0.0;
+  for (wl::VmId id : sel.selected) {
+    cap += d.vm(id).capacity;
+    value += d.vm(id).value;
+  }
+  EXPECT_EQ(cap, sel.offloaded_capacity);
+  EXPECT_NEAR(value, sel.sacrificed_value, 1e-9);
+}
+
+TEST(Priority, ZeroBudgetSelectsNothing) {
+  wl::DeploymentOptions options;
+  options.seed = 45;
+  const wl::Deployment d(test_topology(), options);
+  const auto sel = core::priority_select(d, {0, 1, 2}, {}, core::PriorityMode::kBeta, 0);
+  EXPECT_TRUE(sel.selected.empty());
+}
+
+TEST(Priority, EmptyCandidatesHandled) {
+  wl::DeploymentOptions options;
+  options.seed = 46;
+  const wl::Deployment d(test_topology(), options);
+  const auto sel = core::priority_select(d, {}, {}, core::PriorityMode::kAlpha, 100);
+  EXPECT_TRUE(sel.selected.empty());
+  EXPECT_EQ(sel.offloaded_capacity, 0);
+}
+
+TEST(Priority, MismatchedAlertVectorThrows) {
+  wl::DeploymentOptions options;
+  options.seed = 47;
+  const wl::Deployment d(test_topology(), options);
+  EXPECT_THROW(
+      core::priority_select(d, {0, 1}, {0.5}, core::PriorityMode::kSingle, 0),
+      sc::RequirementError);
+}

@@ -1,0 +1,219 @@
+// Message-passing migration protocol tests: contention at one destination
+// is resolved FCFS, same-round dependency races are caught at commit,
+// results are identical with and without the thread pool, and the engine's
+// two protocol modes both preserve the global invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "migration/cost_model.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace core = sheriff::core;
+namespace mig = sheriff::mig;
+namespace wl = sheriff::wl;
+namespace topo = sheriff::topo;
+namespace sc = sheriff::common;
+
+namespace {
+
+const topo::Topology& test_topology() {
+  static const topo::Topology t = [] {
+    topo::FatTreeOptions options;
+    options.pods = 4;
+    options.hosts_per_rack = 3;
+    return topo::build_fat_tree(options);
+  }();
+  return t;
+}
+
+wl::Deployment make_deployment(std::uint64_t seed) {
+  wl::DeploymentOptions options;
+  options.seed = seed;
+  options.dependency_degree = 0.0;  // controlled dependencies per test
+  return wl::Deployment(test_topology(), options);
+}
+
+/// Demands: every VM of rack r targeting exactly the given host list.
+core::MigrationDemand demand_for(const wl::Deployment&, topo::RackId rack,
+                                 std::vector<wl::VmId> vms,
+                                 std::vector<topo::NodeId> targets) {
+  core::MigrationDemand demand;
+  demand.shim = rack;
+  demand.vms = std::move(vms);
+  demand.region_targets = std::move(targets);
+  return demand;
+}
+
+}  // namespace
+
+TEST(Protocol, PlacesSimpleDemands) {
+  auto d = make_deployment(81);
+  mig::MigrationCostModel model(test_topology(), d);
+  core::DistributedMigrationProtocol protocol(d, model, core::SheriffConfig{});
+
+  const topo::RackId r0 = test_topology().node(d.vm(0).host).rack;
+  const auto plan = protocol.run(
+      {demand_for(d, r0, {0}, test_topology().rack((r0 + 1) % 8).hosts)});
+  ASSERT_EQ(plan.plan.moves.size(), 1u);
+  EXPECT_EQ(plan.plan.moves[0].vm, 0u);
+  EXPECT_EQ(d.vm(0).host, plan.plan.moves[0].to);
+  EXPECT_EQ(plan.conflicts, 0u);
+  EXPECT_GE(plan.iterations, 1u);
+}
+
+TEST(Protocol, ContentionAtOneDestinationResolvedFcfs) {
+  auto d = make_deployment(82);
+  mig::MigrationCostModel model(test_topology(), d);
+
+  // Two shims push VMs at a single destination host with limited room.
+  // Pick the emptiest host so at least the first few requests fit.
+  topo::NodeId dest = topo::kInvalidNode;
+  int best_free = 0;
+  for (const auto& node : test_topology().nodes()) {
+    if (node.kind == topo::NodeKind::kHost && d.host_free_capacity(node.id) > best_free) {
+      best_free = d.host_free_capacity(node.id);
+      dest = node.id;
+    }
+  }
+  ASSERT_NE(dest, topo::kInvalidNode);
+  const int free = d.host_free_capacity(dest);
+
+  // Collect enough fitting VMs from other racks to overshoot the capacity.
+  std::vector<core::MigrationDemand> demands;
+  int queued_capacity = 0;
+  for (const auto& vm : d.vms()) {
+    if (vm.host == dest || vm.capacity > free) continue;
+    const topo::RackId rack = test_topology().node(vm.host).rack;
+    if (rack == test_topology().node(dest).rack) continue;
+    demands.push_back(demand_for(d, rack, {vm.id}, {dest}));
+    queued_capacity += vm.capacity;
+    if (queued_capacity > 2 * free + 40) break;
+  }
+  ASSERT_GT(queued_capacity, free);
+
+  core::DistributedMigrationProtocol protocol(d, model, core::SheriffConfig{});
+  const auto result = protocol.run(std::move(demands));
+  // Destination never over capacity; the overflow is rejected/unplaced.
+  EXPECT_LE(d.host_used_capacity(dest), d.host_capacity());
+  EXPECT_FALSE(result.plan.unplaced.empty());
+  EXPECT_GT(result.plan.rejects + result.plan.unplaced.size(), 0u);
+  EXPECT_GT(result.plan.moves.size(), 0u);  // FCFS winners landed
+}
+
+TEST(Protocol, DependencyRaceCountsAsConflict) {
+  auto d = make_deployment(83);
+  mig::MigrationCostModel model(test_topology(), d);
+
+  // Two dependent VMs in *different* racks, both proposed to one host
+  // with plenty of capacity: each delegate decision alone is fine, the
+  // pair is not — the commit must catch the race.
+  wl::VmId a = wl::kInvalidVm;
+  wl::VmId b = wl::kInvalidVm;
+  for (const auto& va : d.vms()) {
+    for (const auto& vb : d.vms()) {
+      if (va.id >= vb.id) continue;
+      if (va.host == vb.host) continue;
+      if (test_topology().node(va.host).rack == test_topology().node(vb.host).rack) continue;
+      a = va.id;
+      b = vb.id;
+      break;
+    }
+    if (a != wl::kInvalidVm) break;
+  }
+  ASSERT_NE(a, wl::kInvalidVm);
+  d.add_dependency(a, b);
+
+  topo::NodeId dest = topo::kInvalidNode;
+  for (const auto& node : test_topology().nodes()) {
+    if (node.kind != topo::NodeKind::kHost) continue;
+    if (d.can_place(a, node.id) && d.can_place(b, node.id) &&
+        d.host_free_capacity(node.id) >= d.vm(a).capacity + d.vm(b).capacity) {
+      dest = node.id;
+      break;
+    }
+  }
+  ASSERT_NE(dest, topo::kInvalidNode);
+
+  core::SheriffConfig config;
+  config.max_matching_rounds = 1;  // single round: expose the race itself
+  core::DistributedMigrationProtocol protocol(d, model, config);
+  const auto result = protocol.run(
+      {demand_for(d, test_topology().node(d.vm(a).host).rack, {a}, {dest}),
+       demand_for(d, test_topology().node(d.vm(b).host).rack, {b}, {dest})});
+
+  // Exactly one of them lands; the other is a recorded conflict.
+  EXPECT_EQ(result.plan.moves.size(), 1u);
+  EXPECT_EQ(result.conflicts, 1u);
+  EXPECT_NE(d.vm(a).host, d.vm(b).host);  // conflict rule intact
+}
+
+TEST(Protocol, DeterministicWithAndWithoutThreadPool) {
+  sc::ThreadPool pool(4);
+  auto run = [&](sc::ThreadPool* p) {
+    auto d = make_deployment(84);
+    mig::MigrationCostModel model(test_topology(), d);
+    core::DistributedMigrationProtocol protocol(d, model, core::SheriffConfig{}, p);
+    std::vector<core::MigrationDemand> demands;
+    for (topo::RackId r = 0; r < 4; ++r) {
+      const auto& hosts = test_topology().rack(r).hosts;
+      std::vector<wl::VmId> vms;
+      for (topo::NodeId h : hosts) {
+        for (wl::VmId id : d.vms_on_host(h)) vms.push_back(id);
+      }
+      vms.resize(std::min<std::size_t>(vms.size(), 3));
+      demands.push_back(
+          demand_for(d, r, std::move(vms), test_topology().rack(r + 4).hosts));
+    }
+    return protocol.run(std::move(demands));
+  };
+  const auto serial = run(nullptr);
+  const auto parallel = run(&pool);
+  ASSERT_EQ(serial.plan.moves.size(), parallel.plan.moves.size());
+  EXPECT_DOUBLE_EQ(serial.plan.total_cost, parallel.plan.total_cost);
+  for (std::size_t i = 0; i < serial.plan.moves.size(); ++i) {
+    EXPECT_EQ(serial.plan.moves[i].vm, parallel.plan.moves[i].vm);
+    EXPECT_EQ(serial.plan.moves[i].to, parallel.plan.moves[i].to);
+  }
+}
+
+TEST(Protocol, EmptyDemandsAreNoOp) {
+  auto d = make_deployment(85);
+  mig::MigrationCostModel model(test_topology(), d);
+  core::DistributedMigrationProtocol protocol(d, model, core::SheriffConfig{});
+  const auto result = protocol.run({});
+  EXPECT_TRUE(result.plan.moves.empty());
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Protocol, EngineModesBothPreserveInvariants) {
+  for (const auto protocol_kind :
+       {core::MigrationProtocol::kMessagePassing, core::MigrationProtocol::kSerializedFcfs}) {
+    core::EngineConfig config;
+    config.parallel_collect = false;
+    config.protocol = protocol_kind;
+    wl::DeploymentOptions deploy;
+    deploy.seed = 86;
+    core::DistributedEngine engine(test_topology(), deploy, config);
+    const auto metrics = engine.run(8);
+    const auto& d = engine.deployment();
+    for (const auto& node : test_topology().nodes()) {
+      if (node.kind == topo::NodeKind::kHost) {
+        EXPECT_LE(d.host_used_capacity(node.id), d.host_capacity());
+      }
+    }
+    for (wl::VmId x = 0; x < d.vm_count(); ++x) {
+      for (wl::VmId y : d.dependencies().neighbors(x)) {
+        EXPECT_NE(d.vm(x).host, d.vm(y).host);
+      }
+    }
+    std::size_t migrations = 0;
+    for (const auto& m : metrics) migrations += m.migrations;
+    EXPECT_GT(migrations, 0u);
+  }
+}

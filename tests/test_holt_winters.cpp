@@ -1,0 +1,142 @@
+// Holt–Winters seasonal forecaster tests: it must nail clean seasonal
+// signals, beat the naive floor on seasonal traffic, integrate with the
+// dynamic selector, and validate its inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "timeseries/holt_winters.hpp"
+#include "timeseries/model_selection.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace ts = sheriff::ts;
+namespace sc = sheriff::common;
+namespace wl = sheriff::wl;
+
+namespace {
+
+std::vector<double> seasonal_signal(std::size_t n, double period, double trend,
+                                    double noise, std::uint64_t seed) {
+  sc::Pcg32 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    out.push_back(10.0 + trend * static_cast<double>(t) +
+                  4.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / period) +
+                  rng.normal(0.0, noise));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(HoltWinters, ExactOnCleanSeasonalSeries) {
+  const auto series = seasonal_signal(240, 24.0, 0.0, 0.0, 1);
+  ts::HoltWintersModel::Options options;
+  options.period = 24;
+  ts::HoltWintersModel model(options);
+  model.fit(series);
+  const auto f = model.forecast(series, 24);
+  for (std::size_t h = 0; h < f.size(); ++h) {
+    const std::size_t t = series.size() + h;
+    const double truth =
+        10.0 + 4.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 24.0);
+    EXPECT_NEAR(f[h], truth, 0.35) << "horizon " << h;
+  }
+}
+
+TEST(HoltWinters, TracksTrendPlusSeason) {
+  const auto series = seasonal_signal(240, 24.0, 0.05, 0.0, 2);
+  ts::HoltWintersModel::Options options;
+  options.period = 24;
+  ts::HoltWintersModel model(options);
+  model.fit(series);
+  const auto f = model.forecast(series, 48);
+  // The forecast must keep climbing with the trend (compare same phase one
+  // season apart).
+  EXPECT_GT(f[47], f[23]);
+  EXPECT_NEAR(f[47] - f[23], 0.05 * 24.0, 0.5);
+}
+
+TEST(HoltWinters, BeatsNaiveOnWeeklyTraffic) {
+  auto gen = wl::make_weekly_traffic_trace(3);
+  const auto series = gen->generate(48 * 14);
+  const std::size_t split = series.size() / 2;
+  const std::vector<double> train(series.begin(),
+                                  series.begin() + static_cast<std::ptrdiff_t>(split));
+
+  ts::HoltWintersModel::Options options;
+  options.period = 48;  // daily season at 30-min samples
+  ts::HoltWintersModel model(options);
+  model.fit(train);
+
+  std::vector<double> hw_preds;
+  std::vector<double> naive_preds;
+  std::vector<double> actual;
+  for (std::size_t t = split; t < series.size(); ++t) {
+    const std::span<const double> history(series.data(), t);
+    hw_preds.push_back(model.predict_next(history));
+    naive_preds.push_back(series[t - 1]);
+    actual.push_back(series[t]);
+  }
+  EXPECT_LT(sc::mean_squared_error(actual, hw_preds),
+            sc::mean_squared_error(actual, naive_preds));
+}
+
+TEST(HoltWinters, GainTuningNeverHurtsTrainingError) {
+  const auto series = seasonal_signal(240, 24.0, 0.02, 0.4, 4);
+  ts::HoltWintersModel::Options fixed;
+  fixed.period = 24;
+  fixed.tune_gains = false;
+  ts::HoltWintersModel fixed_model(fixed);
+  fixed_model.fit(series);
+
+  ts::HoltWintersModel::Options tuned = fixed;
+  tuned.tune_gains = true;
+  ts::HoltWintersModel tuned_model(tuned);
+  tuned_model.fit(series);
+  EXPECT_LE(tuned_model.training_mse(), fixed_model.training_mse() + 1e-12);
+}
+
+TEST(HoltWinters, InputValidation) {
+  ts::HoltWintersModel::Options bad;
+  bad.period = 1;
+  EXPECT_THROW(ts::HoltWintersModel{bad}, sc::RequirementError);
+  bad = {};
+  bad.level_gain = 1.5;
+  EXPECT_THROW(ts::HoltWintersModel{bad}, sc::RequirementError);
+
+  ts::HoltWintersModel::Options ok;
+  ok.period = 24;
+  ts::HoltWintersModel model(ok);
+  const std::vector<double> short_series(30, 1.0);  // < 2 seasons
+  EXPECT_THROW(model.fit(short_series), sc::RequirementError);
+  const std::vector<double> h(48, 1.0);
+  EXPECT_THROW((void)model.forecast(h, 1), sc::RequirementError);  // before fit
+}
+
+TEST(HoltWinters, SelectorIntegration) {
+  // On a strongly seasonal series the Holt-Winters candidate should win
+  // the Eq. (14) fitness contest against the naive floor.
+  const auto series = seasonal_signal(400, 24.0, 0.0, 0.2, 5);
+  const std::vector<double> train(series.begin(), series.begin() + 300);
+
+  ts::DynamicModelSelector selector(24);
+  selector.add_model(ts::make_holt_winters_forecaster(24));
+  selector.add_model(ts::make_naive_forecaster());
+  selector.fit(train);
+
+  std::vector<double> history = train;
+  for (std::size_t t = 300; t < series.size(); ++t) {
+    (void)selector.predict_next(history);
+    selector.observe(series[t]);
+    history.push_back(series[t]);
+  }
+  EXPECT_EQ(selector.best_model(), 0u);
+  EXPECT_EQ(selector.model_name(0), "HoltWinters(24)");
+}

@@ -1,0 +1,138 @@
+// NARNET tests: the net must learn clean nonlinear signals, beat ARIMA on
+// them (the paper's motivation for the combined model), behave sanely on
+// edge cases, and stay deterministic under a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "timeseries/arima.hpp"
+#include "timeseries/narnet.hpp"
+#include "timeseries/simulate.hpp"
+
+namespace ts = sheriff::ts;
+namespace sc = sheriff::common;
+
+namespace {
+
+ts::NarNet::Options small_net(int inputs = 8, int hidden = 12, std::uint64_t seed = 7) {
+  ts::NarNet::Options options;
+  options.inputs = inputs;
+  options.hidden = hidden;
+  options.seed = seed;
+  options.max_epochs = 250;
+  return options;
+}
+
+}  // namespace
+
+TEST(NarNet, LearnsCleanSine) {
+  sc::Pcg32 rng(31);
+  const auto series = ts::simulate_sine(1.0, 24.0, 0.0, 400, rng);
+  ts::NarNet net(small_net());
+  net.fit(series);
+  ASSERT_TRUE(net.fitted());
+
+  // One-step predictions on the training tail should be tight.
+  const auto preds = net.one_step_predictions(series, 300);
+  std::vector<double> actual(series.begin() + 300, series.end());
+  EXPECT_LT(sc::mean_squared_error(actual, preds), 0.02);
+}
+
+TEST(NarNet, BeatsArimaOnStrongNonlinearity) {
+  // |sin| is sharply nonlinear at its kinks; a linear ARMA struggles.
+  sc::Pcg32 rng(32);
+  std::vector<double> series;
+  for (int t = 0; t < 500; ++t) {
+    series.push_back(std::fabs(std::sin(2.0 * std::numbers::pi * t / 24.0)) +
+                     rng.normal(0.0, 0.01));
+  }
+  const std::vector<double> train(series.begin(), series.begin() + 400);
+
+  ts::NarNet net(small_net(12, 16));
+  net.fit(train);
+  ts::ArimaModel arima(ts::ArimaOrder{2, 0, 1});
+  arima.fit(train);
+
+  std::vector<double> actual(series.begin() + 400, series.end());
+  const auto net_preds = net.one_step_predictions(series, 400);
+  const auto arima_preds = arima.one_step_predictions(series, 400);
+  const double net_mse = sc::mean_squared_error(actual, net_preds);
+  const double arima_mse = sc::mean_squared_error(actual, arima_preds);
+  EXPECT_LT(net_mse, arima_mse);
+}
+
+TEST(NarNet, DeterministicUnderFixedSeed) {
+  sc::Pcg32 rng(33);
+  const auto series = ts::simulate_sine(1.0, 30.0, 0.05, 300, rng);
+  ts::NarNet a(small_net(8, 10, 99));
+  ts::NarNet b(small_net(8, 10, 99));
+  a.fit(series);
+  b.fit(series);
+  EXPECT_DOUBLE_EQ(a.predict_next(series), b.predict_next(series));
+}
+
+TEST(NarNet, RecursiveForecastStaysBounded) {
+  sc::Pcg32 rng(34);
+  const auto series = ts::simulate_sine(1.0, 24.0, 0.02, 400, rng);
+  ts::NarNet net(small_net());
+  net.fit(series);
+  const auto f = net.forecast(series, 48);
+  ASSERT_EQ(f.size(), 48u);
+  for (double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::fabs(v), 3.0);  // the signal lives in [-1, 1]
+  }
+}
+
+TEST(NarNet, PredictBeforeFitThrows) {
+  ts::NarNet net(small_net());
+  const std::vector<double> h(20, 1.0);
+  EXPECT_THROW((void)net.predict_next(h), sc::RequirementError);
+}
+
+TEST(NarNet, HistoryShorterThanWindowThrows) {
+  sc::Pcg32 rng(35);
+  const auto series = ts::simulate_sine(1.0, 24.0, 0.0, 200, rng);
+  ts::NarNet net(small_net(16, 8));
+  net.fit(series);
+  const std::vector<double> short_history(5, 0.0);
+  EXPECT_THROW((void)net.predict_next(short_history), sc::RequirementError);
+}
+
+TEST(NarNet, TooShortTrainingSeriesThrows) {
+  ts::NarNet net(small_net(16, 8));
+  const std::vector<double> tiny(10, 1.0);
+  EXPECT_THROW(net.fit(tiny), sc::RequirementError);
+}
+
+TEST(NarNet, RejectsBadOptions) {
+  ts::NarNet::Options bad;
+  bad.inputs = 0;
+  EXPECT_THROW(ts::NarNet{bad}, sc::RequirementError);
+  bad = {};
+  bad.hidden = 0;
+  EXPECT_THROW(ts::NarNet{bad}, sc::RequirementError);
+  bad = {};
+  bad.validation_fraction = 0.95;
+  EXPECT_THROW(ts::NarNet{bad}, sc::RequirementError);
+}
+
+TEST(NarNet, HandlesConstantSeries) {
+  const std::vector<double> flat(100, 0.7);
+  ts::NarNet net(small_net(6, 6));
+  net.fit(flat);
+  EXPECT_NEAR(net.predict_next(flat), 0.7, 0.05);
+}
+
+TEST(NarNet, ValidationMseReported) {
+  sc::Pcg32 rng(36);
+  const auto series = ts::simulate_sine(1.0, 24.0, 0.05, 300, rng);
+  ts::NarNet net(small_net());
+  net.fit(series);
+  EXPECT_GT(net.validation_mse(), 0.0);
+  EXPECT_LT(net.validation_mse(), 0.5);
+}

@@ -1,0 +1,361 @@
+// Network substrate tests: routing validity and ECMP spread, max–min
+// fairness invariants, queue/QCN congestion signalling with DSCP marking,
+// and rerouting around hot switches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "net/fair_share.hpp"
+#include "net/flow.hpp"
+#include "net/flow_stats.hpp"
+#include "net/queueing.hpp"
+#include "net/reroute.hpp"
+#include "net/routing.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace topo = sheriff::topo;
+namespace net = sheriff::net;
+namespace sc = sheriff::common;
+
+namespace {
+
+topo::Topology small_fat_tree(double tor_agg_gbps = 10.0) {
+  topo::FatTreeOptions options;
+  options.pods = 4;
+  options.hosts_per_rack = 2;
+  options.tor_agg_gbps = tor_agg_gbps;
+  return topo::build_fat_tree(options);
+}
+
+net::Flow make_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst, double demand) {
+  net::Flow f;
+  f.id = id;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.demand_gbps = demand;
+  return f;
+}
+
+}  // namespace
+
+TEST(Routing, PathEndpointsAndAdjacency) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  auto flow = make_flow(1, hosts.front(), hosts.back(), 1.0);
+  ASSERT_TRUE(router.route(flow));
+  ASSERT_GE(flow.path.size(), 2u);
+  EXPECT_EQ(flow.path.front(), hosts.front());
+  EXPECT_EQ(flow.path.back(), hosts.back());
+  for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+    EXPECT_TRUE(t.adjacent(flow.path[i], flow.path[i + 1]));
+  }
+}
+
+TEST(Routing, IntraRackPathIsTwoHops) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  const auto& rack = t.rack(0);
+  auto flow = make_flow(2, rack.hosts[0], rack.hosts[1], 1.0);
+  ASSERT_TRUE(router.route(flow));
+  EXPECT_EQ(flow.path.size(), 3u);  // host — ToR — host
+  EXPECT_EQ(flow.path[1], rack.tor);
+}
+
+TEST(Routing, EcmpSpreadsAcrossCores) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  // Cross-pod pair: a 4-pod fat tree has 4 distinct shortest paths.
+  const topo::NodeId src = t.rack(0).hosts[0];
+  const topo::NodeId dst = t.rack(t.rack_count() - 1).hosts[0];
+  EXPECT_EQ(router.shortest_path_count(src, dst), 4u);
+
+  std::set<topo::NodeId> cores_used;
+  for (net::FlowId id = 0; id < 64; ++id) {
+    auto flow = make_flow(id, src, dst, 1.0);
+    ASSERT_TRUE(router.route(flow));
+    for (topo::NodeId n : flow.path) {
+      if (t.node(n).kind == topo::NodeKind::kCoreSwitch) cores_used.insert(n);
+    }
+  }
+  EXPECT_GE(cores_used.size(), 2u);  // hashing actually spreads
+}
+
+TEST(Routing, SelfFlowRejected) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  auto flow = make_flow(3, t.rack(0).hosts[0], t.rack(0).hosts[0], 1.0);
+  EXPECT_FALSE(router.route(flow));
+  EXPECT_FALSE(flow.routed());
+}
+
+TEST(FairShare, SingleFlowGetsMinOfDemandAndBottleneck) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  std::vector<net::Flow> flows{
+      make_flow(0, t.rack(0).hosts[0], t.rack(1).hosts[0], 5.0)};
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+  // Host links are 1 Gbps: the flow is capped at 1.
+  EXPECT_NEAR(result.flow_rate[0], 1.0, 1e-9);
+  EXPECT_NEAR(flows[0].allocated_gbps, 1.0, 1e-9);
+}
+
+TEST(FairShare, DemandBelowCapacityIsGrantedFully) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  std::vector<net::Flow> flows{
+      make_flow(0, t.rack(0).hosts[0], t.rack(1).hosts[0], 0.25)};
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+  EXPECT_NEAR(result.flow_rate[0], 0.25, 1e-9);
+}
+
+TEST(FairShare, TwoFlowsShareABottleneckEqually) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  // Both flows originate at the same host: its 1 Gbps uplink is shared.
+  const topo::NodeId src = t.rack(0).hosts[0];
+  std::vector<net::Flow> flows{make_flow(0, src, t.rack(1).hosts[0], 5.0),
+                               make_flow(1, src, t.rack(1).hosts[1], 5.0)};
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+  EXPECT_NEAR(result.flow_rate[0], 0.5, 1e-9);
+  EXPECT_NEAR(result.flow_rate[1], 0.5, 1e-9);
+}
+
+TEST(FairShare, NoLinkExceedsCapacity) {
+  const auto t = small_fat_tree(1.0);  // narrow ToR uplinks to force contention
+  const net::Router router(t);
+  sc::Pcg32 rng(5);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows;
+  for (net::FlowId id = 0; id < 60; ++id) {
+    const auto a = rng.pick(hosts);
+    const auto b = rng.pick(hosts);
+    if (a == b) continue;
+    flows.push_back(make_flow(id, a, b, rng.uniform(0.1, 2.0)));
+  }
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    EXPECT_LE(result.link_load_gbps[l], t.link(l).capacity_gbps + 1e-6);
+    EXPECT_LE(result.link_utilization[l], 1.0 + 1e-6);
+  }
+  // Max-min property: no flow got more than its demand.
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_LE(result.flow_rate[f], flows[f].demand_gbps + 1e-9);
+  }
+}
+
+TEST(FairShare, UnsatisfiedFlowHasSaturatedLink) {
+  const auto t = small_fat_tree(1.0);
+  const net::Router router(t);
+  const topo::NodeId src = t.rack(0).hosts[0];
+  std::vector<net::Flow> flows{make_flow(0, src, t.rack(1).hosts[0], 3.0),
+                               make_flow(1, src, t.rack(1).hosts[1], 3.0),
+                               make_flow(2, src, t.rack(2).hosts[0], 3.0)};
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (result.flow_rate[f] < flows[f].demand_gbps - 1e-6) {
+      // A rate-limited flow must cross at least one saturated link.
+      bool found_saturated = false;
+      const auto& path = flows[f].path;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto l = t.link_between(path[i], path[i + 1]);
+        if (result.link_load_gbps[l] >= t.link(l).capacity_gbps - 1e-6) {
+          found_saturated = true;
+        }
+      }
+      EXPECT_TRUE(found_saturated);
+    }
+  }
+}
+
+TEST(FlowStats, JainIndexExtremes) {
+  const std::vector<double> equal{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(net::jain_fairness_index(equal), 1.0, 1e-12);
+  const std::vector<double> monopoly{4.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(net::jain_fairness_index(monopoly), 0.25, 1e-12);  // 1/n
+  EXPECT_DOUBLE_EQ(net::jain_fairness_index({}), 1.0);
+  const std::vector<double> starved{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(net::jain_fairness_index(starved), 1.0);
+}
+
+TEST(FlowStats, QosOnUncongestedFabricIsPerfect) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  std::vector<net::Flow> flows{
+      make_flow(0, t.rack(0).hosts[0], t.rack(1).hosts[0], 0.2),
+      make_flow(1, t.rack(2).hosts[0], t.rack(3).hosts[0], 0.3)};
+  router.route_all(flows);
+  (void)net::max_min_fair_share(t, flows);
+  const auto stats = net::compute_qos_stats(flows);
+  EXPECT_EQ(stats.offered_flows, 2u);
+  EXPECT_EQ(stats.satisfied_flows, 2u);
+  EXPECT_DOUBLE_EQ(stats.satisfied_fraction(), 1.0);
+  EXPECT_NEAR(stats.mean_satisfaction, 1.0, 1e-9);
+  EXPECT_NEAR(stats.total_allocated_gbps, 0.5, 1e-9);
+}
+
+TEST(FlowStats, QosDegradesUnderOverload) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  const topo::NodeId src = t.rack(0).hosts[0];  // one 1 Gbps uplink, 3 Gbps wanted
+  std::vector<net::Flow> flows{make_flow(0, src, t.rack(1).hosts[0], 1.0),
+                               make_flow(1, src, t.rack(2).hosts[0], 1.0),
+                               make_flow(2, src, t.rack(3).hosts[0], 1.0)};
+  router.route_all(flows);
+  (void)net::max_min_fair_share(t, flows);
+  const auto stats = net::compute_qos_stats(flows);
+  EXPECT_EQ(stats.satisfied_flows, 0u);
+  EXPECT_NEAR(stats.mean_satisfaction, 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(stats.jain_fairness, 1.0, 1e-9);  // equal shares are fair
+  EXPECT_NEAR(stats.total_allocated_gbps, 1.0, 1e-6);
+}
+
+TEST(FlowStats, RateLimitedDemandCounts) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  std::vector<net::Flow> flows{make_flow(0, t.rack(0).hosts[0], t.rack(1).hosts[0], 0.8)};
+  flows[0].rate_limit_gbps = 0.4;
+  router.route_all(flows);
+  (void)net::max_min_fair_share(t, flows);
+  const auto stats = net::compute_qos_stats(flows);
+  // Satisfaction is judged against the *effective* (limited) demand.
+  EXPECT_EQ(stats.satisfied_flows, 1u);
+  EXPECT_NEAR(stats.total_demand_gbps, 0.4, 1e-9);
+}
+
+class FairShareProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareProperties, InvariantsHoldOnRandomWorkloads) {
+  sc::Pcg32 rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const auto t = small_fat_tree(rng.bernoulli(0.5) ? 1.0 : 10.0);
+  const net::Router router(t);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows;
+  const std::size_t n_flows = 20 + rng.next_below(80);
+  for (net::FlowId id = 0; id < n_flows; ++id) {
+    const auto a = rng.pick(hosts);
+    const auto b = rng.pick(hosts);
+    if (a == b) continue;
+    auto f = make_flow(id, a, b, rng.uniform(0.05, 2.5));
+    if (rng.bernoulli(0.3)) f.rate_limit_gbps = rng.uniform(0.1, 1.0);
+    flows.push_back(f);
+  }
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+
+  // (1) No link over capacity. (2) No flow over its effective demand.
+  // (3) Pareto: every unsatisfied flow crosses a saturated link.
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    EXPECT_LE(result.link_load_gbps[l], t.link(l).capacity_gbps + 1e-6);
+  }
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_LE(result.flow_rate[f], flows[f].effective_demand() + 1e-9);
+    if (flows[f].routed() && result.flow_rate[f] < flows[f].effective_demand() - 1e-6) {
+      bool saturated = false;
+      const auto& path = flows[f].path;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto l = t.link_between(path[i], path[i + 1]);
+        if (result.link_load_gbps[l] >= t.link(l).capacity_gbps - 1e-6) saturated = true;
+      }
+      EXPECT_TRUE(saturated) << "flow " << f << " starved without a bottleneck";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareProperties, ::testing::Range(1, 13));
+
+TEST(Queueing, CongestionBuildsAndDrains) {
+  const auto t = small_fat_tree(1.0);
+  const net::Router router(t);
+  // Two hosts of rack 0 blast one host of rack 1: the shared downlink and
+  // uplinks overload, so offered exceeds serviced somewhere.
+  std::vector<net::Flow> flows{
+      make_flow(0, t.rack(0).hosts[0], t.rack(1).hosts[0], 2.0),
+      make_flow(1, t.rack(0).hosts[1], t.rack(1).hosts[0], 2.0)};
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+
+  net::QcnConfig config;
+  config.equilibrium_queue = 0.5;
+  net::SwitchQueues queues(t, config);
+  for (int tick = 0; tick < 10; ++tick) queues.update(result, flows);
+  const auto congested = queues.congested_switches();
+  EXPECT_FALSE(congested.empty());
+
+  // Marked flows transit a congested switch.
+  bool any_marked = false;
+  for (const auto& f : flows) any_marked |= f.dscp == net::DscpMark::kCongested;
+  EXPECT_TRUE(any_marked);
+
+  // Remove the load: queues drain and feedback recovers.
+  for (auto& f : flows) f.demand_gbps = 0.0;
+  std::vector<net::Flow> quiet = flows;
+  const auto idle = net::max_min_fair_share(t, quiet);
+  for (int tick = 0; tick < 60; ++tick) queues.update(idle, quiet);
+  EXPECT_TRUE(queues.congested_switches().empty());
+}
+
+TEST(Queueing, IdleNetworkNeverCongests) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  std::vector<net::Flow> flows{
+      make_flow(0, t.rack(0).hosts[0], t.rack(1).hosts[0], 0.1)};
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+  net::SwitchQueues queues(t);
+  for (int tick = 0; tick < 20; ++tick) queues.update(result, flows);
+  EXPECT_TRUE(queues.congested_switches().empty());
+  for (const auto& node : t.nodes()) {
+    if (topo::is_switch(node.kind)) {
+      EXPECT_DOUBLE_EQ(queues.queue_length(node.id), 0.0);
+    }
+  }
+}
+
+TEST(Reroute, MovesFlowsOffHotSwitch) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  const net::FlowRerouter rerouter(router);
+  const topo::NodeId src = t.rack(0).hosts[0];
+  const topo::NodeId dst = t.rack(t.rack_count() - 1).hosts[0];
+  std::vector<net::Flow> flows;
+  for (net::FlowId id = 0; id < 16; ++id) flows.push_back(make_flow(id, src, dst, 1.0));
+  router.route_all(flows);
+
+  // Pick a core switch some flow uses.
+  topo::NodeId hot = topo::kInvalidNode;
+  for (const auto& f : flows) {
+    for (topo::NodeId n : f.path) {
+      if (t.node(n).kind == topo::NodeKind::kCoreSwitch) hot = n;
+    }
+  }
+  ASSERT_NE(hot, topo::kInvalidNode);
+
+  const auto report = rerouter.reroute_around(flows, hot, 1.0);
+  EXPECT_GT(report.candidates, 0u);
+  EXPECT_EQ(report.rerouted, report.candidates);  // alt paths exist in a fat tree
+  for (const auto& f : flows) EXPECT_FALSE(f.transits(hot));
+}
+
+TEST(Reroute, RespectsDelaySensitiveFlows) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  const net::FlowRerouter rerouter(router);
+  auto flow = make_flow(0, t.rack(0).hosts[0], t.rack(t.rack_count() - 1).hosts[0], 1.0);
+  flow.delay_sensitive = true;
+  std::vector<net::Flow> flows{flow};
+  router.route_all(flows);
+  topo::NodeId mid = flows[0].path[flows[0].path.size() / 2];
+  const auto report = rerouter.reroute_around(flows, mid, 1.0);
+  EXPECT_EQ(report.candidates, 0u);
+  EXPECT_EQ(report.rerouted, 0u);
+}

@@ -1,0 +1,161 @@
+// QCN reaction-point tests: rate limits cut under congestion feedback,
+// recover in binary-search fashion afterwards, interact correctly with the
+// fair-share allocator, and ultimately drain the congested queues.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/require.hpp"
+#include "net/fair_share.hpp"
+#include "net/rate_control.hpp"
+#include "net/routing.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace topo = sheriff::topo;
+namespace net = sheriff::net;
+namespace sc = sheriff::common;
+
+namespace {
+
+topo::Topology narrow_fat_tree() {
+  topo::FatTreeOptions options;
+  options.pods = 4;
+  options.hosts_per_rack = 2;
+  options.tor_agg_gbps = 1.0;
+  return topo::build_fat_tree(options);
+}
+
+std::vector<net::Flow> incast_flows(const topo::Topology& t, double demand) {
+  // Several racks all send to one victim host: guaranteed congestion.
+  std::vector<net::Flow> flows;
+  const topo::NodeId victim = t.rack(0).hosts[0];
+  for (topo::RackId r = 1; r <= 3; ++r) {
+    for (topo::NodeId h : t.rack(r).hosts) {
+      net::Flow f;
+      f.id = static_cast<net::FlowId>(flows.size());
+      f.src_host = h;
+      f.dst_host = victim;
+      f.demand_gbps = demand;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+}  // namespace
+
+TEST(FlowEffectiveDemand, HonorsLimit) {
+  net::Flow f;
+  f.demand_gbps = 2.0;
+  EXPECT_DOUBLE_EQ(f.effective_demand(), 2.0);  // unlimited by default
+  f.rate_limit_gbps = 0.5;
+  EXPECT_DOUBLE_EQ(f.effective_demand(), 0.5);
+  f.rate_limit_gbps = 5.0;
+  EXPECT_DOUBLE_EQ(f.effective_demand(), 2.0);
+}
+
+TEST(QcnRateController, CutsUnderCongestionAndRecoversAfter) {
+  const auto t = narrow_fat_tree();
+  const net::Router router(t);
+  auto flows = incast_flows(t, 1.5);
+  router.route_all(std::span<net::Flow>(flows));
+
+  net::QcnConfig qconfig;
+  qconfig.equilibrium_queue = 0.5;
+  net::SwitchQueues queues(t, qconfig);
+  net::QcnRateController controller;
+
+  // Drive congestion for a few periods: limits must appear and bite.
+  bool limited = false;
+  for (int tick = 0; tick < 8; ++tick) {
+    const auto shares = net::max_min_fair_share(t, flows);
+    queues.update(shares, flows);
+    controller.update(flows, queues);
+    for (const auto& f : flows) {
+      if (f.rate_limit_gbps < f.demand_gbps) limited = true;
+    }
+  }
+  EXPECT_TRUE(limited);
+  EXPECT_GT(controller.tracked_flows(), 0u);
+
+  // Kill the demand: queues drain, recovery lifts every limit.
+  for (auto& f : flows) f.demand_gbps = 0.01;
+  for (int tick = 0; tick < 80; ++tick) {
+    const auto shares = net::max_min_fair_share(t, flows);
+    queues.update(shares, flows);
+    controller.update(flows, queues);
+  }
+  EXPECT_EQ(controller.tracked_flows(), 0u);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.rate_limit_gbps, std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(QcnRateController, LimitsReduceQueueBacklog) {
+  const auto t = narrow_fat_tree();
+  const net::Router router(t);
+
+  const auto run = [&](bool enable_control) {
+    auto flows = incast_flows(t, 1.5);
+    router.route_all(std::span<net::Flow>(flows));
+    net::QcnConfig qconfig;
+    qconfig.equilibrium_queue = 0.5;
+    net::SwitchQueues queues(t, qconfig);
+    net::QcnRateController controller;
+    double total_backlog = 0.0;
+    for (int tick = 0; tick < 30; ++tick) {
+      const auto shares = net::max_min_fair_share(t, flows);
+      queues.update(shares, flows);
+      if (enable_control) controller.update(flows, queues);
+      for (const auto& node : t.nodes()) {
+        if (topo::is_switch(node.kind)) total_backlog += queues.queue_length(node.id);
+      }
+    }
+    return total_backlog;
+  };
+
+  const double with_control = run(true);
+  const double without_control = run(false);
+  EXPECT_LT(with_control, 0.7 * without_control);
+}
+
+TEST(QcnRateController, NeverBelowFloor) {
+  const auto t = narrow_fat_tree();
+  const net::Router router(t);
+  auto flows = incast_flows(t, 2.0);
+  router.route_all(std::span<net::Flow>(flows));
+  net::QcnConfig qconfig;
+  qconfig.equilibrium_queue = 0.1;  // very aggressive congestion signal
+  net::SwitchQueues queues(t, qconfig);
+  net::QcnRateConfig rconfig;
+  rconfig.min_rate_gbps = 0.05;
+  net::QcnRateController controller(rconfig);
+  for (int tick = 0; tick < 40; ++tick) {
+    const auto shares = net::max_min_fair_share(t, flows);
+    queues.update(shares, flows);
+    controller.update(flows, queues);
+  }
+  for (const auto& f : flows) {
+    EXPECT_GE(f.rate_limit_gbps, rconfig.min_rate_gbps - 1e-12);
+  }
+}
+
+TEST(QcnRateController, ConfigValidation) {
+  net::QcnRateConfig bad;
+  bad.decrease_gain = 1.5;
+  EXPECT_THROW(net::QcnRateController{bad}, sc::RequirementError);
+  bad = {};
+  bad.min_rate_gbps = 0.0;
+  EXPECT_THROW(net::QcnRateController{bad}, sc::RequirementError);
+}
+
+TEST(QcnRateController, UnroutedFlowsIgnored) {
+  const auto t = narrow_fat_tree();
+  std::vector<net::Flow> flows(1);
+  flows[0].demand_gbps = 1.0;  // never routed
+  net::SwitchQueues queues(t);
+  net::QcnRateController controller;
+  controller.update(flows, queues);
+  EXPECT_EQ(controller.tracked_flows(), 0u);
+}

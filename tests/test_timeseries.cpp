@@ -1,0 +1,195 @@
+// Time-series toolkit tests: lag/difference operators, ACF/PACF, the
+// Nelder–Mead optimizer, process simulators, and the dynamic model
+// selector (Eq. 14).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "timeseries/acf.hpp"
+#include "timeseries/model_selection.hpp"
+#include "timeseries/optimize.hpp"
+#include "timeseries/series_ops.hpp"
+#include "timeseries/simulate.hpp"
+
+namespace ts = sheriff::ts;
+namespace sc = sheriff::common;
+
+TEST(SeriesOps, FirstDifference) {
+  const std::vector<double> xs{1.0, 3.0, 6.0, 10.0};
+  const auto d = ts::difference(xs, 1);
+  EXPECT_EQ(d, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(SeriesOps, SecondDifference) {
+  const std::vector<double> xs{1.0, 3.0, 6.0, 10.0, 15.0};
+  const auto d = ts::difference(xs, 2);
+  EXPECT_EQ(d, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(SeriesOps, IntegrateInvertsDifferenceD1) {
+  sc::Pcg32 rng(4);
+  const auto original = ts::simulate_random_walk(10.0, 0.1, 1.0, 50, rng);
+  const auto diffed = ts::difference(original, 1);
+  // Continue: integrate the last 10 increments from the matching tail.
+  const std::vector<double> tail{original[39]};
+  const std::vector<double> increments(diffed.begin() + 39, diffed.end());
+  const auto rebuilt = ts::integrate(increments, tail, 1);
+  ASSERT_EQ(rebuilt.size(), 10u);
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_NEAR(rebuilt[i], original[40 + i], 1e-9);
+  }
+}
+
+TEST(SeriesOps, IntegrateInvertsDifferenceD2) {
+  // Quadratic: second difference is constant 2.
+  std::vector<double> xs;
+  for (int t = 0; t < 30; ++t) xs.push_back(static_cast<double>(t * t));
+  const auto d2 = ts::difference(xs, 2);
+  const std::vector<double> tail{xs[18], xs[19]};
+  const std::vector<double> increments(d2.begin() + 18, d2.end());
+  const auto rebuilt = ts::integrate(increments, tail, 2);
+  for (std::size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_NEAR(rebuilt[i], xs[20 + i], 1e-9);
+  }
+}
+
+TEST(SeriesOps, DemeanCentersSeries) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  double mean = 0.0;
+  const auto centered = ts::demean(xs, &mean);
+  EXPECT_DOUBLE_EQ(mean, 4.0);
+  EXPECT_NEAR(sc::mean(centered), 0.0, 1e-12);
+}
+
+TEST(Acf, WhiteNoiseIsUncorrelated) {
+  sc::Pcg32 rng(10);
+  const auto z = ts::simulate_arma({}, {}, 0.0, 1.0, 4000, rng);
+  const auto r = ts::autocorrelation(z, 5);
+  for (double rk : r) EXPECT_LT(std::fabs(rk), 0.05);
+}
+
+TEST(Acf, Ar1DecaysGeometrically) {
+  sc::Pcg32 rng(11);
+  const double phi = 0.7;
+  const auto x = ts::simulate_arma({phi}, {}, 0.0, 1.0, 20000, rng);
+  const auto r = ts::autocorrelation(x, 3);
+  EXPECT_NEAR(r[0], phi, 0.05);
+  EXPECT_NEAR(r[1], phi * phi, 0.05);
+  EXPECT_NEAR(r[2], phi * phi * phi, 0.06);
+}
+
+TEST(Acf, ConstantSeriesGivesZeros) {
+  const std::vector<double> flat(100, 3.0);
+  for (double rk : ts::autocorrelation(flat, 4)) EXPECT_DOUBLE_EQ(rk, 0.0);
+}
+
+TEST(Pacf, Ar2CutsOffAfterLag2) {
+  sc::Pcg32 rng(12);
+  const auto x = ts::simulate_arma({0.5, 0.3}, {}, 0.0, 1.0, 20000, rng);
+  const auto pacf = ts::partial_autocorrelation(x, 5);
+  EXPECT_GT(std::fabs(pacf[0]), 0.3);
+  EXPECT_NEAR(pacf[1], 0.3, 0.06);  // phi_22 ≈ phi_2 for AR(2)
+  for (int k = 2; k < 5; ++k) EXPECT_LT(std::fabs(pacf[k]), 0.05);
+}
+
+TEST(LjungBox, SeparatesNoiseFromSignal) {
+  sc::Pcg32 rng(13);
+  const auto noise = ts::simulate_arma({}, {}, 0.0, 1.0, 1000, rng);
+  const auto ar = ts::simulate_arma({0.8}, {}, 0.0, 1.0, 1000, rng);
+  // chi^2(10) 99th percentile is ~23.2.
+  EXPECT_LT(ts::ljung_box(noise, 10), 30.0);
+  EXPECT_GT(ts::ljung_box(ar, 10), 100.0);
+}
+
+TEST(Stationarity, RandomWalkLooksNonStationary) {
+  sc::Pcg32 rng(14);
+  const auto walk = ts::simulate_random_walk(0.0, 0.0, 1.0, 2000, rng);
+  EXPECT_FALSE(ts::looks_stationary(walk));
+  const auto diffed = ts::difference(walk, 1);
+  EXPECT_TRUE(ts::looks_stationary(diffed));
+}
+
+TEST(NelderMead, MinimizesQuadraticBowl) {
+  const auto result = ts::nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = x[0] - 3.0;
+        const double b = x[1] + 1.0;
+        return a * a + 2.0 * b * b;
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-4);
+}
+
+TEST(NelderMead, RespectsInfinityConstraints) {
+  // Reject x < 0; optimum of (x-(-2))^2 restricted to x >= 0 is x = 0.
+  const auto result = ts::nelder_mead(
+      [](const std::vector<double>& x) {
+        if (x[0] < 0.0) return std::numeric_limits<double>::infinity();
+        return (x[0] + 2.0) * (x[0] + 2.0);
+      },
+      {1.0});
+  EXPECT_NEAR(result.x[0], 0.0, 1e-3);
+}
+
+TEST(Simulate, SineHasRequestedPeriod) {
+  sc::Pcg32 rng(15);
+  const auto s = ts::simulate_sine(2.0, 50.0, 0.0, 200, rng);
+  EXPECT_NEAR(s[0], 0.0, 1e-9);
+  EXPECT_NEAR(s[25], 0.0, 1e-9);   // half period
+  EXPECT_NEAR(s[12], 2.0, 0.1);    // quarter period peak-ish
+}
+
+TEST(Selector, PicksTheBetterModelOnLinearData) {
+  sc::Pcg32 rng(16);
+  // AR(1)-ish workload: ARIMA should win over the naive floor.
+  const auto series = ts::simulate_arma({0.8}, {}, 1.0, 0.3, 400, rng);
+  const std::vector<double> train(series.begin(), series.begin() + 300);
+
+  ts::DynamicModelSelector selector(24);
+  selector.add_model(ts::make_arima_forecaster(1, 0, 0));
+  selector.add_model(ts::make_naive_forecaster());
+  selector.fit(train);
+
+  std::vector<double> history = train;
+  for (std::size_t t = 300; t < series.size(); ++t) {
+    (void)selector.predict_next(history);
+    selector.observe(series[t]);
+    history.push_back(series[t]);
+  }
+  // The ARIMA candidate (index 0) must end up with the lower windowed MSE.
+  EXPECT_EQ(selector.best_model(), 0u);
+  EXPECT_LT(selector.fitness(0), selector.fitness(1));
+  EXPECT_GT(selector.selection_counts()[0], selector.selection_counts()[1]);
+}
+
+TEST(Selector, RequiresFitBeforePredict) {
+  ts::DynamicModelSelector selector(8);
+  selector.add_model(ts::make_naive_forecaster());
+  const std::vector<double> h{1.0, 2.0};
+  EXPECT_THROW(selector.predict_next(h), sc::RequirementError);
+}
+
+TEST(Selector, ObserveWithoutPendingThrows) {
+  ts::DynamicModelSelector selector(8);
+  selector.add_model(ts::make_naive_forecaster());
+  selector.fit(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_THROW(selector.observe(1.0), sc::RequirementError);
+}
+
+TEST(Selector, ForecastDelegatesToBestModel) {
+  ts::DynamicModelSelector selector(8);
+  selector.add_model(ts::make_naive_forecaster());
+  selector.fit(std::vector<double>{1.0, 2.0, 3.0});
+  const std::vector<double> h{5.0, 6.0, 7.0};
+  const auto f = selector.forecast(h, 3);
+  ASSERT_EQ(f.size(), 3u);
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 7.0);  // naive repeats the last value
+}

@@ -1,0 +1,248 @@
+// Workload substrate tests: profiles, trace generators (shape properties of
+// the Fig. 3–5 stand-ins), the dependency graph, and deployment invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "timeseries/acf.hpp"
+#include "topology/fat_tree.hpp"
+#include "workload/dependency.hpp"
+#include "workload/deployment.hpp"
+#include "workload/profile.hpp"
+#include "workload/trace_generator.hpp"
+
+namespace wl = sheriff::wl;
+namespace topo = sheriff::topo;
+namespace sc = sheriff::common;
+namespace ts = sheriff::ts;
+
+TEST(Profile, MaxAndThreshold) {
+  wl::WorkloadProfile p;
+  p[wl::Feature::kCpu] = 0.3;
+  p[wl::Feature::kMemory] = 0.95;
+  p[wl::Feature::kDiskIo] = 0.1;
+  p[wl::Feature::kTraffic] = 0.2;
+  EXPECT_DOUBLE_EQ(p.max_component(), 0.95);
+  EXPECT_TRUE(p.any_exceeds(0.9));
+  EXPECT_FALSE(p.any_exceeds(0.96));
+}
+
+TEST(Profile, ClampBoundsComponents) {
+  wl::WorkloadProfile p;
+  p[wl::Feature::kCpu] = -0.5;
+  p[wl::Feature::kMemory] = 1.7;
+  p.clamp();
+  EXPECT_DOUBLE_EQ(p[wl::Feature::kCpu], 0.0);
+  EXPECT_DOUBLE_EQ(p[wl::Feature::kMemory], 1.0);
+  EXPECT_FALSE(p.to_string().empty());
+}
+
+TEST(Traces, CpuStaysInPercentRange) {
+  auto gen = wl::make_cpu_trace(1);
+  const auto xs = gen->generate(2000);
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 100.0);
+  }
+  const double m = sc::mean(xs);
+  EXPECT_GT(m, 20.0);
+  EXPECT_LT(m, 70.0);
+}
+
+TEST(Traces, CpuHasDiurnalPeriodicity) {
+  auto gen = wl::make_cpu_trace(2);
+  const auto xs = gen->generate(288 * 4);  // four days
+  // Autocorrelation at the daily lag should clearly beat the half-day lag.
+  const auto r = ts::autocorrelation(xs, 288);
+  EXPECT_GT(r[287], 0.35);
+  EXPECT_LT(r[143], 0.0);  // anti-phase at half a day
+}
+
+TEST(Traces, DiskIoIsBursty) {
+  auto gen = wl::make_disk_io_trace(3);
+  const auto xs = gen->generate(3000);
+  const double mean = sc::mean(xs);
+  const double p99 = sc::quantile(xs, 0.99);
+  EXPECT_GT(p99, 1.8 * mean);  // heavy spikes well above the mean
+  for (double x : xs) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1200.0);
+  }
+}
+
+TEST(Traces, WeeklyTrafficWeekendsAreLighter) {
+  auto gen = wl::make_weekly_traffic_trace(4);
+  const auto xs = gen->generate(48 * 14);  // two weeks at 30-min samples
+  double weekday_peak = 0.0;
+  double weekend_peak = 0.0;
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const int day = static_cast<int>(t / 48) % 7;
+    auto& peak = day >= 5 ? weekend_peak : weekday_peak;
+    peak = std::max(peak, xs[t]);
+  }
+  EXPECT_GT(weekday_peak, weekend_peak);
+}
+
+TEST(Traces, DeterministicPerSeed) {
+  auto a = wl::make_weekly_traffic_trace(9);
+  auto b = wl::make_weekly_traffic_trace(9);
+  EXPECT_EQ(a->generate(100), b->generate(100));
+  auto c = wl::make_weekly_traffic_trace(10);
+  EXPECT_NE(a->generate(100), c->generate(100));
+}
+
+TEST(Traces, NormalizeClampsToUnit) {
+  const std::vector<double> raw{-5.0, 50.0, 150.0};
+  const auto n = wl::normalize_trace(raw, 100.0);
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.5);
+  EXPECT_DOUBLE_EQ(n[2], 1.0);
+}
+
+TEST(DependencyGraph, EdgesAndNeighbors) {
+  wl::DependencyGraph g(4);
+  g.add_dependency(0, 1);
+  g.add_dependency(0, 2);
+  g.add_dependency(0, 1);  // duplicate ignored
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.depends(1, 0));
+  EXPECT_FALSE(g.depends(1, 2));
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_THROW(g.add_dependency(1, 1), sc::RequirementError);
+}
+
+namespace {
+
+wl::Deployment make_deployment(std::uint64_t seed = 42) {
+  static const topo::Topology t = [] {
+    topo::FatTreeOptions options;
+    options.pods = 4;
+    options.hosts_per_rack = 3;
+    return topo::build_fat_tree(options);
+  }();
+  wl::DeploymentOptions options;
+  options.seed = seed;
+  return wl::Deployment(t, options);
+}
+
+}  // namespace
+
+TEST(Deployment, CapacityAccountingConsistent) {
+  const auto d = make_deployment();
+  EXPECT_GT(d.vm_count(), 0u);
+  for (const auto& node : d.topology().nodes()) {
+    if (node.kind != topo::NodeKind::kHost) continue;
+    int used = 0;
+    for (wl::VmId id : d.vms_on_host(node.id)) {
+      EXPECT_EQ(d.vm(id).host, node.id);
+      used += d.vm(id).capacity;
+    }
+    EXPECT_EQ(used, d.host_used_capacity(node.id));
+    EXPECT_LE(used, d.host_capacity());
+    EXPECT_EQ(d.host_free_capacity(node.id), d.host_capacity() - used);
+  }
+}
+
+TEST(Deployment, DependentVmsNeverShareHosts) {
+  const auto d = make_deployment();
+  const auto& deps = d.dependencies();
+  for (wl::VmId a = 0; a < d.vm_count(); ++a) {
+    for (wl::VmId b : deps.neighbors(a)) {
+      EXPECT_NE(d.vm(a).host, d.vm(b).host);
+    }
+  }
+}
+
+TEST(Deployment, VmCapacitiesRespectBounds) {
+  const auto d = make_deployment();
+  for (const auto& vm : d.vms()) {
+    EXPECT_GE(vm.capacity, d.options().min_vm_capacity);
+    EXPECT_LE(vm.capacity, d.options().max_vm_capacity);
+    EXPECT_GE(vm.value, 1.0);
+  }
+}
+
+TEST(Deployment, MoveVmUpdatesBookkeeping) {
+  auto d = make_deployment();
+  // Find a feasible (vm, host) pair.
+  for (const auto& vm : d.vms()) {
+    for (const auto& node : d.topology().nodes()) {
+      if (node.kind != topo::NodeKind::kHost) continue;
+      if (!d.can_place(vm.id, node.id)) continue;
+      const auto old_host = vm.host;
+      const int before_src = d.host_used_capacity(old_host);
+      const int before_dst = d.host_used_capacity(node.id);
+      d.move_vm(vm.id, node.id);
+      EXPECT_EQ(d.vm(vm.id).host, node.id);
+      EXPECT_EQ(d.host_used_capacity(old_host), before_src - vm.capacity);
+      EXPECT_EQ(d.host_used_capacity(node.id), before_dst + vm.capacity);
+      const auto on_dst = d.vms_on_host(node.id);
+      EXPECT_NE(std::find(on_dst.begin(), on_dst.end(), vm.id), on_dst.end());
+      return;
+    }
+  }
+  FAIL() << "no feasible move found";
+}
+
+TEST(Deployment, MoveToSameHostRejected) {
+  auto d = make_deployment();
+  const auto& vm = d.vm(0);
+  EXPECT_FALSE(d.can_place(vm.id, vm.host));
+  EXPECT_THROW(d.move_vm(vm.id, vm.host), sc::RequirementError);
+}
+
+TEST(Deployment, AdvanceEvolvesProfilesInUnitRange) {
+  auto d = make_deployment();
+  const auto before = d.vm(0).profile;
+  bool changed = false;
+  for (int tick = 0; tick < 5; ++tick) {
+    d.advance();
+    for (const auto& vm : d.vms()) {
+      for (double v : vm.profile.values) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+    if (d.vm(0).profile.values != before.values) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Deployment, SkewedPlacementIsMoreImbalanced) {
+  static const topo::Topology t = [] {
+    topo::FatTreeOptions options;
+    options.pods = 4;
+    options.hosts_per_rack = 3;
+    return topo::build_fat_tree(options);
+  }();
+  wl::DeploymentOptions skewed;
+  skewed.seed = 7;
+  skewed.placement = wl::PlacementPolicy::kSkewed;
+  wl::DeploymentOptions uniform = skewed;
+  uniform.placement = wl::PlacementPolicy::kUniform;
+  const wl::Deployment ds(t, skewed);
+  const wl::Deployment du(t, uniform);
+  EXPECT_GT(ds.workload_stddev(), du.workload_stddev());
+}
+
+TEST(Deployment, DeterministicForSeed) {
+  const auto a = make_deployment(5);
+  const auto b = make_deployment(5);
+  ASSERT_EQ(a.vm_count(), b.vm_count());
+  for (wl::VmId id = 0; id < a.vm_count(); ++id) {
+    EXPECT_EQ(a.vm(id).host, b.vm(id).host);
+    EXPECT_EQ(a.vm(id).capacity, b.vm(id).capacity);
+    EXPECT_EQ(a.vm(id).profile.values, b.vm(id).profile.values);
+  }
+}
+
+TEST(Deployment, WorkloadMetricsAreFinite) {
+  const auto d = make_deployment();
+  EXPECT_GE(d.workload_stddev(), 0.0);
+  EXPECT_GT(d.workload_mean(), 0.0);
+  EXPECT_TRUE(std::isfinite(d.workload_stddev()));
+}

@@ -15,6 +15,14 @@ MigrationPlan CentralizedManager::migrate(std::vector<wl::VmId> alerted) {
   mig::AdmissionBroker broker(*deployment_);
   VmMigrationScheduler scheduler(*deployment_, *cost_model_, broker,
                                  config_.max_matching_rounds);
+  if (liveness_ != nullptr && !liveness_->all_up()) {
+    std::vector<topo::NodeId> live_hosts;
+    live_hosts.reserve(all_hosts_.size());
+    for (topo::NodeId h : all_hosts_) {
+      if (liveness_->host_attached(deployment_->topology(), h)) live_hosts.push_back(h);
+    }
+    return scheduler.migrate(std::move(alerted), live_hosts);
+  }
   return scheduler.migrate(std::move(alerted), all_hosts_);
 }
 

@@ -11,6 +11,7 @@
 #include "core/vm_migration.hpp"
 #include "migration/cost_model.hpp"
 #include "migration/request.hpp"
+#include "topology/liveness.hpp"
 #include "workload/deployment.hpp"
 
 namespace sheriff::core {
@@ -20,7 +21,12 @@ class CentralizedManager {
   CentralizedManager(wl::Deployment& deployment, mig::MigrationCostModel& cost_model,
                      SheriffConfig config = {});
 
-  /// Migrates the alerted VMs using the full host set as candidates.
+  /// Attaches the fabric's liveness mask (nullptr = pristine fabric): the
+  /// global view drops dead hosts from the candidate set. The mask must
+  /// outlive the manager.
+  void set_liveness(const topo::LivenessMask* liveness) { liveness_ = liveness; }
+
+  /// Migrates the alerted VMs using the full (live) host set as candidates.
   MigrationPlan migrate(std::vector<wl::VmId> alerted);
 
  private:
@@ -28,6 +34,7 @@ class CentralizedManager {
   mig::MigrationCostModel* cost_model_;
   SheriffConfig config_;
   std::vector<topo::NodeId> all_hosts_;
+  const topo::LivenessMask* liveness_ = nullptr;
 };
 
 }  // namespace sheriff::core

@@ -28,7 +28,83 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
   predicted_.resize(deployment_.vm_count());
   tor_utilization_predictors_.resize(topo.rack_count());
   tor_queue_predictors_.resize(topo.rack_count());
+  if (config_.fault_plan != nullptr) {
+    injector_ = std::make_unique<fault::FaultInjector>(topo, *config_.fault_plan);
+    const fault::FaultOptions& fault_options = config_.fault_plan->options();
+    if (fault_options.message_drop_probability > 0.0) {
+      channel_ = std::make_unique<fault::LossyChannel>(fault_options.message_drop_probability,
+                                                       fault_options.seed);
+    }
+    router_.apply_liveness(&injector_->liveness());
+    queues_.set_liveness(&injector_->liveness());
+    for (ShimController& shim : shims_) shim.set_liveness(&injector_->liveness());
+    takeover_.resize(topo.rack_count());
+    recompute_takeovers();
+  }
   build_flows();
+}
+
+topo::RackId DistributedEngine::managing_rack(topo::RackId rack) const {
+  SHERIFF_REQUIRE(rack < topo_->rack_count(), "rack out of range");
+  return injector_ == nullptr ? rack : takeover_[rack];
+}
+
+void DistributedEngine::recompute_takeovers() {
+  for (topo::RackId r = 0; r < topo_->rack_count(); ++r) {
+    if (!injector_->shim_down(r)) {
+      takeover_[r] = r;
+      continue;
+    }
+    // Neighbor-region takeover: the lowest-numbered one-hop neighbor with a
+    // live shim adopts the rack. No live neighbor means the rack runs
+    // unmanaged until a shim recovers.
+    takeover_[r] = topo::kInvalidRack;
+    auto neighbors = topo_->neighbor_racks(r);
+    std::sort(neighbors.begin(), neighbors.end());
+    for (topo::RackId n : neighbors) {
+      if (!injector_->shim_down(n)) {
+        takeover_[r] = n;
+        break;
+      }
+    }
+  }
+}
+
+bool DistributedEngine::host_attached(topo::NodeId host) const {
+  return injector_ == nullptr || injector_->liveness().host_attached(*topo_, host);
+}
+
+std::vector<wl::VmId> DistributedEngine::collect_orphans() const {
+  std::vector<wl::VmId> orphans;
+  if (injector_ == nullptr || injector_->liveness().all_up()) return orphans;
+  for (topo::NodeId h : topo_->nodes_of_kind(topo::NodeKind::kHost)) {
+    if (host_attached(h)) continue;
+    const auto& stranded = deployment_.vms_on_host(h);
+    orphans.insert(orphans.end(), stranded.begin(), stranded.end());
+  }
+  return orphans;
+}
+
+void DistributedEngine::apply_fault_events(RoundMetrics& metrics) {
+  const fault::InjectionReport report = injector_->advance(metrics.round);
+  if (report.fabric_changed) {
+    router_.refresh_liveness();
+    // Tear down routes crossing a changed element; step 1 re-routes them
+    // over the surviving fabric (or counts them as unroutable).
+    const topo::LivenessMask& mask = injector_->liveness();
+    for (net::Flow& flow : flows_) {
+      if (!flow.routed()) continue;
+      bool live = true;
+      for (std::size_t i = 0; live && i + 1 < flow.path.size(); ++i) {
+        const topo::LinkId l = topo_->link_between(flow.path[i], flow.path[i + 1]);
+        live = mask.link_usable(*topo_, l);
+      }
+      if (!live) flow.path.clear();
+    }
+  }
+  if (report.fabric_changed || report.shims_changed) recompute_takeovers();
+  metrics.failed_links = injector_->failed_link_count();
+  metrics.failed_switches = injector_->failed_switch_count();
 }
 
 std::unique_ptr<ProfilePredictor> DistributedEngine::make_predictor() const {
@@ -97,6 +173,10 @@ RoundMetrics DistributedEngine::run_round() {
   RoundMetrics metrics;
   metrics.round = round_++;
 
+  // 0. Fault schedule: apply this round's due events, propagate the new
+  //    liveness to the router, and tear down routes over dead elements.
+  if (injector_ != nullptr) apply_fault_events(metrics);
+
   // 1. Workloads evolve; flows track the new traffic levels and any
   //    migrated endpoints.
   deployment_.advance();
@@ -114,10 +194,16 @@ RoundMetrics DistributedEngine::run_round() {
   for (net::Flow& flow : flows_) {
     if (!flow.routed()) router_.route(flow);
   }
+  if (injector_ != nullptr) {
+    for (const net::Flow& flow : flows_) {
+      if (flow.src_host != flow.dst_host && !flow.routed()) ++metrics.unroutable_flows;
+    }
+  }
 
   // 2. Network state: fair share + queue/QCN update, then the end-host
   //    reaction point adjusts rate limits for the next period.
-  auto shares = net::max_min_fair_share(*topo_, flows_);
+  auto shares = net::max_min_fair_share(*topo_, flows_,
+                                        injector_ != nullptr ? &injector_->liveness() : nullptr);
   queues_.update(shares, flows_);
   if (config_.qcn_rate_control) {
     rate_controller_.update(flows_, queues_);
@@ -192,7 +278,31 @@ RoundMetrics DistributedEngine::run_round() {
     }
   }
 
-  // 4. Management actions.
+  // 4. Management actions. VMs stranded on dead or cut-off hosts are
+  //    re-placed through the same machinery as alert-driven migrations (a
+  //    control-plane restart from shared storage, so a severed source does
+  //    not block it); `orphans` stays sorted for the recovery accounting.
+  std::vector<wl::VmId> orphans = collect_orphans();
+  std::sort(orphans.begin(), orphans.end());
+  metrics.orphaned_vms = orphans.size();
+  const auto count_recoveries = [&](const MigrationPlan& plan) {
+    if (orphans.empty()) return;
+    for (const MigrationMove& move : plan.moves) {
+      if (std::binary_search(orphans.begin(), orphans.end(), move.vm)) {
+        ++metrics.recovery_migrations;
+      }
+    }
+  };
+  // Orphans grouped by the rack of their stranded host; each group becomes
+  // a recovery demand issued by the rack's managing shim.
+  std::vector<std::vector<wl::VmId>> orphans_by_rack;
+  if (!orphans.empty()) {
+    orphans_by_rack.resize(topo_->rack_count());
+    for (wl::VmId vm : orphans) {
+      orphans_by_rack[topo_->node(deployment_.vm(vm).host).rack].push_back(vm);
+    }
+  }
+
   cost_model_.set_bandwidth_state(&shares);
   if (config_.mode == ManagerMode::kSheriff) {
     const auto account_plan = [&metrics](const MigrationPlan& plan) {
@@ -207,8 +317,12 @@ RoundMetrics DistributedEngine::run_round() {
     if (config_.protocol == MigrationProtocol::kMessagePassing) {
       // Alert dispatch + FLOWREROUTE per shim (serial: reroutes touch the
       // shared flow table), then one distributed propose/decide/apply run.
+      // A rack whose shim is down is handled by its takeover neighbor: the
+      // demand is attributed to the neighbor and placed in *its* region.
       std::vector<MigrationDemand> demands;
       for (std::size_t s = 0; s < shims_.size(); ++s) {
+        const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(s));
+        if (mgr == topo::kInvalidRack) continue;  // unmanaged until a shim recovers
         auto selection = shims_[s].select(collected[s], deployment_, predicted_, rerouter_,
                                           flows_, flow_owner_);
         metrics.host_alerts += selection.host_alerts;
@@ -216,35 +330,79 @@ RoundMetrics DistributedEngine::run_round() {
         metrics.switch_alerts += selection.switch_alerts;
         metrics.reroutes += selection.reroutes.rerouted;
         if (!selection.migration_set.empty()) {
-          demands.push_back({shims_[s].rack(), std::move(selection.migration_set),
-                             shims_[s].migration_targets(deployment_)});
+          demands.push_back({shims_[mgr].rack(), std::move(selection.migration_set),
+                             shims_[mgr].migration_targets(deployment_)});
         }
+      }
+      for (std::size_t r = 0; r < orphans_by_rack.size(); ++r) {
+        if (orphans_by_rack[r].empty()) continue;
+        const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(r));
+        if (mgr == topo::kInvalidRack) continue;
+        demands.push_back({shims_[mgr].rack(), std::move(orphans_by_rack[r]),
+                           shims_[mgr].migration_targets(deployment_)});
       }
       DistributedMigrationProtocol protocol(
           deployment_, cost_model_, config_.sheriff,
-          config_.parallel_collect ? &common::default_pool() : nullptr);
+          config_.parallel_collect ? &common::default_pool() : nullptr, channel_.get(),
+          config_.fault_plan != nullptr ? config_.fault_plan->options().max_protocol_retries
+                                        : 0);
       const auto outcome = protocol.run(std::move(demands));
       account_plan(outcome.plan);
+      count_recoveries(outcome.plan);
       metrics.protocol_conflicts += outcome.conflicts;
       metrics.protocol_iterations = outcome.iterations;
+      metrics.protocol_drops = outcome.drops;
+      metrics.protocol_retries = outcome.retries;
     } else {
       mig::AdmissionBroker broker(deployment_);
       for (std::size_t s = 0; s < shims_.size(); ++s) {
-        const auto result = shims_[s].act(collected[s], deployment_, predicted_, cost_model_,
-                                          broker, rerouter_, flows_, flow_owner_);
-        metrics.host_alerts += result.host_alerts;
-        metrics.tor_alerts += result.tor_alerts;
-        metrics.switch_alerts += result.switch_alerts;
-        metrics.reroutes += result.reroutes.rerouted;
-        account_plan(result.plan);
+        const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(s));
+        if (mgr == topo::kInvalidRack) continue;
+        if (mgr == static_cast<topo::RackId>(s)) {
+          const auto result = shims_[s].act(collected[s], deployment_, predicted_, cost_model_,
+                                            broker, rerouter_, flows_, flow_owner_);
+          metrics.host_alerts += result.host_alerts;
+          metrics.tor_alerts += result.tor_alerts;
+          metrics.switch_alerts += result.switch_alerts;
+          metrics.reroutes += result.reroutes.rerouted;
+          account_plan(result.plan);
+        } else {
+          // Takeover: the neighbor shim runs the rack's selection and
+          // schedules the moves into its own region.
+          auto selection = shims_[s].select(collected[s], deployment_, predicted_, rerouter_,
+                                            flows_, flow_owner_);
+          metrics.host_alerts += selection.host_alerts;
+          metrics.tor_alerts += selection.tor_alerts;
+          metrics.switch_alerts += selection.switch_alerts;
+          metrics.reroutes += selection.reroutes.rerouted;
+          if (!selection.migration_set.empty()) {
+            VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
+                                           config_.sheriff.max_matching_rounds);
+            account_plan(scheduler.migrate(std::move(selection.migration_set),
+                                           shims_[mgr].migration_targets(deployment_)));
+          }
+        }
+      }
+      for (std::size_t r = 0; r < orphans_by_rack.size(); ++r) {
+        if (orphans_by_rack[r].empty()) continue;
+        const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(r));
+        if (mgr == topo::kInvalidRack) continue;
+        VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
+                                       config_.sheriff.max_matching_rounds);
+        const auto plan = scheduler.migrate(std::move(orphans_by_rack[r]),
+                                            shims_[mgr].migration_targets(deployment_));
+        account_plan(plan);
+        count_recoveries(plan);
       }
     }
   } else {
     // Centralized: the same per-rack alert collection feeds one global
     // manager; host alerts of every rack are gathered through PRIORITY's
-    // single-VM rule applied per host, ToR/switch alerts per rack.
+    // single-VM rule applied per host, ToR/switch alerts per rack. A rack
+    // whose shim died unreplaced reports nothing — monitoring is lost too.
     std::vector<wl::VmId> global_set;
     for (std::size_t s = 0; s < shims_.size(); ++s) {
+      if (injector_ != nullptr && takeover_[s] == topo::kInvalidRack) continue;
       for (const Alert& alert : collected[s].alerts) {
         metrics.host_alerts += alert.source == AlertSource::kHost ? 1 : 0;
         metrics.tor_alerts += alert.source == AlertSource::kLocalTor ? 1 : 0;
@@ -258,8 +416,14 @@ RoundMetrics DistributedEngine::run_round() {
         }
       }
     }
+    // Orphans are re-placed unconditionally (their host is gone, so even
+    // delay-sensitive VMs must restart elsewhere). collect() skipped their
+    // hosts, so no VM appears twice.
+    global_set.insert(global_set.end(), orphans.begin(), orphans.end());
     CentralizedManager manager(deployment_, cost_model_, config_.sheriff);
+    if (injector_ != nullptr) manager.set_liveness(&injector_->liveness());
     const auto plan = manager.migrate(std::move(global_set));
+    count_recoveries(plan);
     metrics.migrations += plan.moves.size();
     metrics.migration_requests += plan.requests;
     metrics.migration_rejects += plan.rejects;

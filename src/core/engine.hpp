@@ -27,6 +27,8 @@
 #include "core/protocol.hpp"
 #include "core/shim_controller.hpp"
 #include "core/vm_migration.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/lossy_channel.hpp"
 #include "migration/cost_model.hpp"
 #include "net/fair_share.hpp"
 #include "net/queueing.hpp"
@@ -64,6 +66,10 @@ struct EngineConfig {
   double flow_demand_scale_gbps = 0.4;  ///< demand per dependency edge at TRF=1
   bool parallel_collect = true;         ///< run shim collection on the thread pool
   bool qcn_rate_control = true;         ///< end-host reaction to QCN feedback (Sec. III-A.2)
+  /// Optional timed fault schedule (link/switch/host/shim failures, lossy
+  /// protocol messaging). Must outlive the engine. An empty plan (or
+  /// nullptr) reproduces the pristine-fabric run bit for bit.
+  const fault::FaultPlan* fault_plan = nullptr;
 };
 
 struct RoundMetrics {
@@ -89,6 +95,14 @@ struct RoundMetrics {
   std::size_t protocol_iterations = 0;     ///< propose/decide/apply rounds used
   double migration_seconds = 0.0;          ///< summed live-migration wall time
   double migration_downtime_seconds = 0.0; ///< summed stop&copy suspensions
+  // --- failure model (all zero on a pristine fabric) -----------------------
+  std::size_t failed_links = 0;        ///< links unable to carry traffic this round
+  std::size_t failed_switches = 0;     ///< switches currently crashed
+  std::size_t orphaned_vms = 0;        ///< VMs on dead/cut-off hosts before recovery
+  std::size_t unroutable_flows = 0;    ///< flows with no live path this round
+  std::size_t protocol_drops = 0;      ///< REQUEST/ACK messages lost this round
+  std::size_t protocol_retries = 0;    ///< re-proposals after message loss
+  std::size_t recovery_migrations = 0; ///< orphaned VMs re-placed this round
 };
 
 class DistributedEngine {
@@ -112,11 +126,25 @@ class DistributedEngine {
   /// benches that want to hand the same alerts to both manager modes).
   [[nodiscard]] std::vector<wl::VmId> alerted_vms() const;
 
+  /// The fault injector driving this run, or nullptr on a pristine fabric.
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const noexcept {
+    return injector_.get();
+  }
+  /// The rack whose shim currently manages `rack` (a live neighbor when the
+  /// own shim is down), or topo::kInvalidRack when nobody can take over.
+  [[nodiscard]] topo::RackId managing_rack(topo::RackId rack) const;
+
  private:
   void build_flows();
   void update_flow_demands();
   void observe_and_predict();
   [[nodiscard]] std::unique_ptr<ProfilePredictor> make_predictor() const;
+  void apply_fault_events(RoundMetrics& metrics);
+  void recompute_takeovers();
+  /// True when the host is up and has at least one usable link.
+  [[nodiscard]] bool host_attached(topo::NodeId host) const;
+  /// VMs stranded on dead or cut-off hosts, grouped for recovery.
+  [[nodiscard]] std::vector<wl::VmId> collect_orphans() const;
 
   const topo::Topology* topo_;
   EngineConfig config_;
@@ -134,6 +162,9 @@ class DistributedEngine {
   std::vector<wl::WorkloadProfile> predicted_;                 ///< by VmId
   std::vector<HoltScalar> tor_utilization_predictors_;         ///< by RackId
   std::vector<HoltScalar> tor_queue_predictors_;               ///< by RackId
+  std::unique_ptr<fault::FaultInjector> injector_;  ///< null = pristine fabric
+  std::unique_ptr<fault::LossyChannel> channel_;    ///< null = reliable messaging
+  std::vector<topo::RackId> takeover_;              ///< managing rack per rack
   std::size_t round_ = 0;
 };
 

@@ -9,7 +9,9 @@ common::Table metrics_table(std::span<const RoundMetrics> rounds) {
                        "tor_alerts", "switch_alerts", "migrations", "requests", "rejects",
                        "reroutes", "migration_cost", "search_space", "max_link_util",
                        "congested_switches", "rate_limited_flows", "flow_satisfaction",
-                       "flow_fairness", "migration_s", "downtime_s"});
+                       "flow_fairness", "migration_s", "downtime_s", "failed_links",
+                       "failed_switches", "orphaned_vms", "unroutable_flows", "protocol_drops",
+                       "protocol_retries", "recovery_migrations"});
   for (const auto& m : rounds) {
     table.begin_row()
         .add(m.round)
@@ -31,7 +33,14 @@ common::Table metrics_table(std::span<const RoundMetrics> rounds) {
         .add(m.flow_satisfaction, 3)
         .add(m.flow_fairness, 3)
         .add(m.migration_seconds, 2)
-        .add(m.migration_downtime_seconds, 4);
+        .add(m.migration_downtime_seconds, 4)
+        .add(m.failed_links)
+        .add(m.failed_switches)
+        .add(m.orphaned_vms)
+        .add(m.unroutable_flows)
+        .add(m.protocol_drops)
+        .add(m.protocol_retries)
+        .add(m.recovery_migrations);
   }
   return table;
 }
@@ -56,6 +65,11 @@ RunSummary summarize(std::span<const RoundMetrics> rounds) {
     summary.total_downtime_seconds += m.migration_downtime_seconds;
     summary.total_search_space += m.search_space;
     peak_acc += m.max_link_utilization;
+    if (m.failed_links > 0 || m.failed_switches > 0) ++summary.rounds_with_failures;
+    if (m.orphaned_vms > summary.peak_orphaned_vms) summary.peak_orphaned_vms = m.orphaned_vms;
+    summary.total_recovery_migrations += m.recovery_migrations;
+    summary.total_protocol_drops += m.protocol_drops;
+    summary.total_protocol_retries += m.protocol_retries;
   }
   summary.mean_link_peak = peak_acc / static_cast<double>(rounds.size());
   return summary;

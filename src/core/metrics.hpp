@@ -30,6 +30,12 @@ struct RunSummary {
   double first_stddev = 0.0;   ///< workload stddev before round 0's management
   double last_stddev = 0.0;    ///< ... after the final round
   double mean_link_peak = 0.0; ///< average of per-round max link utilization
+  // --- failure model ---
+  std::size_t rounds_with_failures = 0;      ///< rounds with any dead link/switch
+  std::size_t peak_orphaned_vms = 0;         ///< worst single-round orphan count
+  std::size_t total_recovery_migrations = 0; ///< orphaned VMs re-placed over the run
+  std::size_t total_protocol_drops = 0;      ///< REQUEST/ACK messages lost
+  std::size_t total_protocol_retries = 0;    ///< re-proposals after message loss
 };
 RunSummary summarize(std::span<const RoundMetrics> rounds);
 

@@ -25,11 +25,23 @@ struct Decision {
 
 }  // namespace
 
-DistributedMigrationProtocol::DistributedMigrationProtocol(wl::Deployment& deployment,
-                                                           mig::MigrationCostModel& cost_model,
-                                                           SheriffConfig config,
-                                                           common::ThreadPool* pool)
-    : deployment_(&deployment), cost_model_(&cost_model), config_(config), pool_(pool) {}
+namespace {
+
+/// Bounded backoff after a lost message: 1, 2, then 3 iterations of
+/// silence, however many consecutive losses a VM suffers.
+constexpr std::size_t kBackoffCap = 3;
+
+}  // namespace
+
+DistributedMigrationProtocol::DistributedMigrationProtocol(
+    wl::Deployment& deployment, mig::MigrationCostModel& cost_model, SheriffConfig config,
+    common::ThreadPool* pool, fault::LossyChannel* channel, std::size_t loss_retry_budget)
+    : deployment_(&deployment),
+      cost_model_(&cost_model),
+      config_(config),
+      pool_(pool),
+      channel_(channel != nullptr && !channel->lossless() ? channel : nullptr),
+      loss_retry_budget_(loss_retry_budget) {}
 
 ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> demands) {
   ProtocolResult result;
@@ -40,17 +52,47 @@ ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> de
 
   std::vector<std::size_t> search_space_by_demand(demands.size(), 0);
 
-  for (std::size_t iteration = 0; iteration < config_.max_matching_rounds; ++iteration) {
+  // Per-VM loss state (only touched from serial phases).
+  std::vector<std::uint8_t> backoff(deployment_->vm_count(), 0);
+  std::vector<std::uint8_t> loss_streak(deployment_->vm_count(), 0);
+  std::vector<bool> retry_pending(deployment_->vm_count(), false);
+  const auto register_loss = [&](wl::VmId vm) {
+    ++result.drops;
+    loss_streak[vm] = static_cast<std::uint8_t>(
+        std::min<std::size_t>(loss_streak[vm] + 1, kBackoffCap));
+    backoff[vm] = loss_streak[vm];
+    retry_pending[vm] = true;
+  };
+
+  const std::size_t iteration_cap =
+      config_.max_matching_rounds + (channel_ != nullptr ? loss_retry_budget_ : 0);
+
+  for (std::size_t iteration = 0; iteration < iteration_cap; ++iteration) {
     bool any_pending = false;
     for (const auto& d : demands) any_pending |= !d.vms.empty();
     if (!any_pending) break;
     ++result.iterations;
 
+    // VMs backing off after a lost message sit this iteration out.
+    bool any_withheld = false;
+    std::vector<std::vector<wl::VmId>> active(demands.size());
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      active[i].reserve(demands[i].vms.size());
+      for (wl::VmId vm : demands[i].vms) {
+        if (backoff[vm] > 0) {
+          --backoff[vm];
+          any_withheld = true;
+        } else {
+          active[i].push_back(vm);
+        }
+      }
+    }
+
     // --- PROPOSE (parallel; read-only against shared state) -------------
     std::vector<std::vector<ProposedMove>> proposals(demands.size());
     const auto propose = [&](std::size_t i) {
-      if (demands[i].vms.empty()) return;
-      proposals[i] = propose_matching(*deployment_, *cost_model_, demands[i].vms,
+      if (active[i].empty()) return;
+      proposals[i] = propose_matching(*deployment_, *cost_model_, active[i],
                                       demands[i].region_targets,
                                       &search_space_by_demand[i]);
     };
@@ -60,10 +102,21 @@ ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> de
       for (std::size_t i = 0; i < demands.size(); ++i) propose(i);
     }
 
-    // --- DELIVER: group requests by destination rack ---------------------
+    // --- DELIVER: group requests by destination rack (serial: the lossy
+    // channel's draw order must not depend on thread scheduling) ----------
+    std::size_t losses_this_iteration = 0;
     std::vector<std::vector<Request>> mailbox(topo.rack_count());
     for (std::size_t i = 0; i < demands.size(); ++i) {
       for (const auto& p : proposals[i]) {
+        if (channel_ != nullptr && !channel_->deliver()) {
+          register_loss(p.vm);  // REQUEST lost: never reaches the delegate
+          ++losses_this_iteration;
+          continue;
+        }
+        if (retry_pending[p.vm]) {
+          ++result.retries;
+          retry_pending[p.vm] = false;
+        }
         mailbox[topo.node(p.dest).rack].push_back(
             {demands[i].shim, p.vm, p.dest, p.cost});
       }
@@ -124,6 +177,14 @@ ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> de
           continue;
         }
         const Request& rq = decision.request;
+        // The ACK itself can be lost: the proposer times out and the move
+        // is not committed. The delegate's reservation only existed in
+        // this iteration's ledger, so nothing leaks — the VM retries.
+        if (channel_ != nullptr && !channel_->deliver()) {
+          register_loss(rq.vm);
+          ++losses_this_iteration;
+          continue;
+        }
         // A same-round race (e.g. a dependency partner ACKed onto the same
         // host by another delegate) can invalidate the reservation: the
         // loser is a conflict and retries next iteration.
@@ -155,7 +216,9 @@ ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> de
     for (auto& d : demands) {
       std::erase_if(d.vms, [&](wl::VmId id) { return placed[id]; });
     }
-    if (!progress) break;
+    // A lossy or backing-off iteration is a stall, not a dead end: keep
+    // going while the retry budget lasts.
+    if (!progress && losses_this_iteration == 0 && !any_withheld) break;
   }
 
   for (std::size_t i = 0; i < demands.size(); ++i) {

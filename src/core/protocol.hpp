@@ -17,11 +17,22 @@
 //      confliction handling Sec. V-B calls for.
 //
 // Iterates until every demand is placed or no progress is possible.
+//
+// Messaging may be unreliable: with a fault::LossyChannel attached, each
+// REQUEST (propose→delegate) and ACK (delegate→proposer) is a Bernoulli
+// delivery. A lost REQUEST never reaches the mailbox; a lost ACK leaves
+// the proposer timing out, so the move is NOT committed (the delegate's
+// reservation only lived in that iteration's ledger — no reservation can
+// leak). Either loss puts the VM on a bounded backoff (1, 2, then capped
+// at 3 iterations of silence) before it is re-proposed; re-proposals after
+// a loss are counted as retries, and the iteration budget is extended by
+// FaultOptions::max_protocol_retries so loss cannot starve convergence.
 
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/vm_migration.hpp"
+#include "fault/lossy_channel.hpp"
 #include "migration/cost_model.hpp"
 #include "workload/deployment.hpp"
 
@@ -42,14 +53,21 @@ struct ProtocolResult {
   MigrationPlan plan;
   std::size_t conflicts = 0;   ///< apply-time losses (re-queued)
   std::size_t iterations = 0;  ///< propose/decide/apply rounds executed
+  std::size_t drops = 0;       ///< REQUEST/ACK messages lost in transit
+  std::size_t retries = 0;     ///< re-proposals after a lost message
 };
 
 class DistributedMigrationProtocol {
  public:
   /// `pool` may be null for single-threaded execution (results identical).
+  /// `channel` may be null (reliable messaging); when set it must outlive
+  /// the protocol, and `loss_retry_budget` extra iterations are granted to
+  /// wait out losses.
   DistributedMigrationProtocol(wl::Deployment& deployment,
                                mig::MigrationCostModel& cost_model, SheriffConfig config,
-                               common::ThreadPool* pool = nullptr);
+                               common::ThreadPool* pool = nullptr,
+                               fault::LossyChannel* channel = nullptr,
+                               std::size_t loss_retry_budget = 0);
 
   ProtocolResult run(std::vector<MigrationDemand> demands);
 
@@ -58,6 +76,8 @@ class DistributedMigrationProtocol {
   mig::MigrationCostModel* cost_model_;
   SheriffConfig config_;
   common::ThreadPool* pool_;
+  fault::LossyChannel* channel_;
+  std::size_t loss_retry_budget_;
 };
 
 }  // namespace sheriff::core

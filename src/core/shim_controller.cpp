@@ -17,7 +17,9 @@ ShimController::ShimController(topo::RackId rack, const topo::Topology& topo,
 std::vector<topo::NodeId> ShimController::region_target_hosts() const {
   std::vector<topo::NodeId> targets;
   const auto& own = topo_->rack(rack_);
-  targets.insert(targets.end(), own.hosts.begin(), own.hosts.end());
+  for (topo::NodeId h : own.hosts) {
+    if (host_live(h)) targets.push_back(h);
+  }
 
   // One-hop neighbor racks, nearest first on the floor plan, capped at
   // max_region_racks — the shim's dominating region stays a locality even
@@ -35,8 +37,9 @@ std::vector<topo::NodeId> ShimController::region_target_hosts() const {
     neighbors.resize(config_.max_region_racks);
   }
   for (topo::RackId nr : neighbors) {
-    const auto& hosts = topo_->rack(nr).hosts;
-    targets.insert(targets.end(), hosts.begin(), hosts.end());
+    for (topo::NodeId h : topo_->rack(nr).hosts) {
+      if (host_live(h)) targets.push_back(h);
+    }
   }
   return targets;
 }
@@ -61,8 +64,11 @@ ShimCollectResult ShimController::collect(const wl::Deployment& deployment,
   const AlertScheme scheme(config_.vm_alert_threshold);
   const topo::Rack& rack = topo_->rack(rack_);
 
-  // Per-VM ALERT values (Sec. IV-C) over the rack's population.
+  // Per-VM ALERT values (Sec. IV-C) over the rack's population. A dead
+  // host reports nothing: its VMs are orphans handled by the engine's
+  // recovery path, not by the alert pipeline.
   for (topo::NodeId host : rack.hosts) {
+    if (!host_live(host)) continue;
     for (wl::VmId id : deployment.vms_on_host(host)) {
       out.rack_vms.push_back(id);
       out.vm_alert_values.push_back(scheme.vm_alert(predicted[id]));
@@ -72,6 +78,7 @@ ShimCollectResult ShimController::collect(const wl::Deployment& deployment,
   // Host overload alerts: predicted load above the absolute overload line,
   // or a relative hotspot (well above the fleet mean).
   for (topo::NodeId host : rack.hosts) {
+    if (!host_live(host)) continue;
     const double load = predicted_host_load_percent(deployment, host, predicted);
     const bool absolute = load > config_.host_overload_percent;
     const bool hotspot = load > config_.hotspot_floor_percent &&

@@ -22,6 +22,7 @@
 #include "core/vm_migration.hpp"
 #include "net/queueing.hpp"
 #include "net/reroute.hpp"
+#include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 #include "workload/deployment.hpp"
 
@@ -59,6 +60,11 @@ class ShimController {
   ShimController(topo::RackId rack, const topo::Topology& topo, SheriffConfig config);
 
   [[nodiscard]] topo::RackId rack() const noexcept { return rack_; }
+
+  /// Attaches the fabric's liveness mask (nullptr = pristine fabric). Dead
+  /// hosts raise no alerts and are never offered as migration receivers.
+  /// The mask must outlive the controller.
+  void set_liveness(const topo::LivenessMask* liveness) { liveness_ = liveness; }
 
   /// Destination hosts of the shim's dominating region: the rack's own
   /// hosts plus every host in a one-hop neighbor rack.
@@ -118,8 +124,13 @@ class ShimController {
       const wl::Deployment& deployment, topo::NodeId host,
       std::span<const wl::WorkloadProfile> predicted) const;
 
+  [[nodiscard]] bool host_live(topo::NodeId host) const {
+    return liveness_ == nullptr || liveness_->host_attached(*topo_, host);
+  }
+
   topo::RackId rack_;
   const topo::Topology* topo_;
+  const topo::LivenessMask* liveness_ = nullptr;
   SheriffConfig config_;
 };
 

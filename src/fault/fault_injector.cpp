@@ -1,0 +1,107 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace sheriff::fault {
+
+FaultInjector::FaultInjector(const topo::Topology& topo, const FaultPlan& plan)
+    : topo_(&topo), plan_(&plan), liveness_(topo), shim_crashed_(topo.rack_count(), false) {
+  for (const FaultEvent& event : plan.events()) {
+    switch (event.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
+        SHERIFF_REQUIRE(event.target < topo.link_count(), "fault plan: link out of range");
+        break;
+      case FaultKind::kSwitchDown:
+      case FaultKind::kSwitchUp:
+        SHERIFF_REQUIRE(event.target < topo.node_count() &&
+                            topo::is_switch(topo.node(event.target).kind),
+                        "fault plan: switch target is not a switch");
+        break;
+      case FaultKind::kHostDown:
+      case FaultKind::kHostUp:
+        SHERIFF_REQUIRE(event.target < topo.node_count() &&
+                            topo.node(event.target).kind == topo::NodeKind::kHost,
+                        "fault plan: host target is not a host");
+        break;
+      case FaultKind::kShimDown:
+      case FaultKind::kShimUp:
+        SHERIFF_REQUIRE(event.target < topo.rack_count(), "fault plan: rack out of range");
+        break;
+    }
+  }
+}
+
+InjectionReport FaultInjector::advance(std::size_t round) {
+  InjectionReport report;
+  for (const FaultEvent& event : plan_->due(round)) {
+    apply(event, report);
+  }
+  return report;
+}
+
+void FaultInjector::apply(const FaultEvent& event, InjectionReport& report) {
+  const bool up = is_recovery(event.kind);
+  switch (event.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+      if (liveness_.link_up(event.target) != up) {
+        liveness_.set_link(event.target, up);
+        report.fabric_changed = true;
+        report.applied.push_back(event);
+      }
+      return;
+    case FaultKind::kSwitchDown:
+    case FaultKind::kSwitchUp: {
+      if (liveness_.node_up(event.target) == up) return;
+      liveness_.set_node(event.target, up);
+      failed_switches_ += up ? -1 : 1;
+      report.fabric_changed = true;
+      report.applied.push_back(event);
+      // A ToR carries its rack's shim: crashing/rebooting it changes shim
+      // availability (shim_down() consults the ToR's liveness directly).
+      if (topo_->node(event.target).rack != topo::kInvalidRack) report.shims_changed = true;
+      return;
+    }
+    case FaultKind::kHostDown:
+    case FaultKind::kHostUp: {
+      if (liveness_.node_up(event.target) == up) return;
+      liveness_.set_node(event.target, up);
+      if (up) {
+        std::erase(failed_hosts_, event.target);
+      } else {
+        failed_hosts_.push_back(event.target);
+        std::sort(failed_hosts_.begin(), failed_hosts_.end());
+      }
+      report.fabric_changed = true;
+      report.applied.push_back(event);
+      return;
+    }
+    case FaultKind::kShimDown:
+    case FaultKind::kShimUp:
+      if (shim_crashed_[event.target] != !up) {
+        shim_crashed_[event.target] = !up;
+        report.shims_changed = true;
+        report.applied.push_back(event);
+      }
+      return;
+  }
+}
+
+bool FaultInjector::shim_down(topo::RackId rack) const {
+  if (shim_crashed_[rack]) return true;
+  const topo::NodeId tor = topo_->rack(rack).tor;
+  return tor != topo::kInvalidNode && !liveness_.node_up(tor);
+}
+
+std::size_t FaultInjector::failed_shim_count() const {
+  std::size_t count = 0;
+  for (topo::RackId r = 0; r < topo_->rack_count(); ++r) {
+    if (shim_down(r)) ++count;
+  }
+  return count;
+}
+
+}  // namespace sheriff::fault

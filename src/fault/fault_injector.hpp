@@ -1,0 +1,66 @@
+#pragma once
+// FaultInjector: executes a FaultPlan against a live simulation. It owns
+// the topology's LivenessMask plus the per-rack shim availability, applies
+// every event due at a round, and reports what changed so the engine knows
+// when to recompute routing state. Recovery semantics:
+//
+//   * a recovered link/switch/host simply rejoins the fabric — routing
+//     state is recomputed, but VMs that were evacuated do NOT move back
+//     (re-balancing them is the management scheme's job, not the fault
+//     layer's);
+//   * a ToR being down forces its rack's shim down too (the shim rides on
+//     the ToR); an explicit kShimDown outlives a ToR recovery until the
+//     matching kShimUp fires.
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "topology/liveness.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::fault {
+
+/// What one round's events did (drives the engine's recompute decisions).
+struct InjectionReport {
+  std::vector<FaultEvent> applied;
+  bool fabric_changed = false;  ///< some node/link flipped: re-route needed
+  bool shims_changed = false;   ///< shim availability changed: takeover map stale
+};
+
+class FaultInjector {
+ public:
+  /// The topology and plan must outlive the injector.
+  FaultInjector(const topo::Topology& topo, const FaultPlan& plan);
+
+  /// Applies every event scheduled at `round`.
+  InjectionReport advance(std::size_t round);
+
+  [[nodiscard]] const topo::LivenessMask& liveness() const noexcept { return liveness_; }
+  /// A shim is down when explicitly crashed or when its ToR is dead.
+  [[nodiscard]] bool shim_down(topo::RackId rack) const;
+  [[nodiscard]] bool host_down(topo::NodeId host) const { return !liveness_.node_up(host); }
+
+  /// Hosts currently failed (their VMs are the orphans to re-place).
+  [[nodiscard]] const std::vector<topo::NodeId>& failed_hosts() const noexcept {
+    return failed_hosts_;
+  }
+  [[nodiscard]] std::size_t failed_switch_count() const noexcept { return failed_switches_; }
+  /// Links unable to carry traffic (explicitly failed or endpoint-dead).
+  [[nodiscard]] std::size_t failed_link_count() const {
+    return liveness_.unusable_link_count(*topo_);
+  }
+  [[nodiscard]] std::size_t failed_shim_count() const;
+
+ private:
+  void apply(const FaultEvent& event, InjectionReport& report);
+
+  const topo::Topology* topo_;
+  const FaultPlan* plan_;
+  topo::LivenessMask liveness_;
+  std::vector<bool> shim_crashed_;  ///< explicit kShimDown, per rack
+  std::vector<topo::NodeId> failed_hosts_;
+  std::size_t failed_switches_ = 0;
+};
+
+}  // namespace sheriff::fault

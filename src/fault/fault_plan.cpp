@@ -1,0 +1,115 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/require.hpp"
+#include "topology/topology.hpp"
+
+namespace sheriff::fault {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kSwitchDown: return "switch-down";
+    case FaultKind::kSwitchUp: return "switch-up";
+    case FaultKind::kHostDown: return "host-down";
+    case FaultKind::kHostUp: return "host-up";
+    case FaultKind::kShimDown: return "shim-down";
+    case FaultKind::kShimUp: return "shim-up";
+  }
+  return "unknown";
+}
+
+namespace {
+
+[[nodiscard]] auto order_key(const FaultEvent& e) {
+  return std::make_tuple(e.round, static_cast<std::uint8_t>(e.kind), e.target);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add(std::size_t round, FaultKind kind, std::uint32_t target) {
+  const FaultEvent event{round, kind, target};
+  const auto pos = std::lower_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return order_key(a) < order_key(b); });
+  if (pos != events_.end() && *pos == event) return *this;  // dedup
+  events_.insert(pos, event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_link(topo::LinkId link, std::size_t down_round,
+                                std::size_t up_round) {
+  add(down_round, FaultKind::kLinkDown, link);
+  if (up_round > down_round) add(up_round, FaultKind::kLinkUp, link);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_switch(topo::NodeId node, std::size_t down_round,
+                                  std::size_t up_round) {
+  add(down_round, FaultKind::kSwitchDown, node);
+  if (up_round > down_round) add(up_round, FaultKind::kSwitchUp, node);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_host(topo::NodeId host, std::size_t down_round,
+                                std::size_t up_round) {
+  add(down_round, FaultKind::kHostDown, host);
+  if (up_round > down_round) add(up_round, FaultKind::kHostUp, host);
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_shim(topo::RackId rack, std::size_t down_round,
+                                std::size_t up_round) {
+  add(down_round, FaultKind::kShimDown, rack);
+  if (up_round > down_round) add(up_round, FaultKind::kShimUp, rack);
+  return *this;
+}
+
+std::span<const FaultEvent> FaultPlan::due(std::size_t round) const {
+  const auto lo = std::lower_bound(events_.begin(), events_.end(), round,
+                                   [](const FaultEvent& e, std::size_t r) { return e.round < r; });
+  auto hi = lo;
+  while (hi != events_.end() && hi->round == round) ++hi;
+  return {lo, hi};
+}
+
+std::size_t FaultPlan::horizon() const noexcept {
+  return events_.empty() ? 0 : events_.back().round;
+}
+
+FaultPlan FaultPlan::tor_outage(const topo::Topology& topo, topo::RackId rack,
+                                std::size_t down_round, std::size_t up_round) {
+  const topo::NodeId tor = topo.rack(rack).tor;
+  SHERIFF_REQUIRE(tor != topo::kInvalidNode, "rack has no ToR to fail");
+  FaultPlan plan;
+  plan.fail_switch(tor, down_round, up_round);
+  return plan;
+}
+
+FaultPlan FaultPlan::random_link_flaps(const topo::Topology& topo, FaultOptions options,
+                                       std::size_t flaps, std::size_t first_round,
+                                       std::size_t last_round, std::size_t down_rounds) {
+  SHERIFF_REQUIRE(last_round > first_round, "flap window must be non-empty");
+  std::vector<topo::LinkId> fabric_links;
+  for (const auto& link : topo.links()) {
+    if (topo.node(link.a).kind != topo::NodeKind::kHost &&
+        topo.node(link.b).kind != topo::NodeKind::kHost) {
+      fabric_links.push_back(link.id);
+    }
+  }
+  SHERIFF_REQUIRE(!fabric_links.empty(), "topology has no switch-to-switch links to flap");
+  FaultPlan plan(options);
+  common::Pcg32 rng(options.seed);
+  for (std::size_t i = 0; i < flaps; ++i) {
+    const topo::LinkId link = rng.pick(fabric_links);
+    const std::size_t down =
+        first_round + rng.next_below(static_cast<std::uint32_t>(last_round - first_round));
+    plan.fail_link(link, down, down + down_rounds);
+  }
+  return plan;
+}
+
+}  // namespace sheriff::fault

@@ -1,0 +1,127 @@
+#pragma once
+// FaultPlan: a deterministic, pre-computed schedule of fault events for a
+// simulation run. Events are timed in management rounds and applied by the
+// FaultInjector at the top of each round. The plan is data, not behavior:
+// the same plan handed to two engines produces bit-identical runs, which
+// is what makes failure experiments replayable (and diffable) the same
+// way the pristine-fabric figures are.
+//
+// Event taxonomy (what the paper's fabric can lose):
+//   link down/up        — a cable or port dies / is repaired
+//   switch down/up      — a ToR/agg/core/BCube switch crashes / reboots.
+//                         A dead ToR also takes its rack's shim down: the
+//                         shim rides on the ToR (Sec. II-B).
+//   host down/up        — a server dies; its VMs are orphaned and must be
+//                         re-placed elsewhere (recovery migrations)
+//   shim down/up        — the management process alone crashes; the rack
+//                         keeps serving traffic but loses its manager
+//                         until a neighbor-region shim takes over
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/entities.hpp"
+
+namespace sheriff::topo {
+class Topology;
+}
+
+namespace sheriff::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kSwitchDown,
+  kSwitchUp,
+  kHostDown,
+  kHostUp,
+  kShimDown,
+  kShimUp,
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// True for the *Up events that undo a failure.
+[[nodiscard]] constexpr bool is_recovery(FaultKind kind) noexcept {
+  return kind == FaultKind::kLinkUp || kind == FaultKind::kSwitchUp ||
+         kind == FaultKind::kHostUp || kind == FaultKind::kShimUp;
+}
+
+struct FaultEvent {
+  std::size_t round = 0;  ///< applied before the round's first step
+  FaultKind kind = FaultKind::kLinkDown;
+  /// LinkId for link events, NodeId for switch/host events, RackId for
+  /// shim events.
+  std::uint32_t target = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Knobs for randomized plan generation and for the protocol's message
+/// layer. All randomness is drawn from Pcg32(seed) — never rand() — so a
+/// (seed, plan) pair replays exactly.
+struct FaultOptions {
+  std::uint64_t seed = 2015;
+  /// Probability that any one REQUEST or ACK of the distributed migration
+  /// protocol is lost in transit (0 = reliable messaging).
+  double message_drop_probability = 0.0;
+  /// Extra propose/decide/apply iterations the protocol may spend waiting
+  /// out message loss (the retry/backoff budget on top of
+  /// SheriffConfig::max_matching_rounds).
+  std::size_t max_protocol_retries = 16;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(FaultOptions options) : options_(options) {}
+
+  /// Adds one event; duplicates (same round/kind/target) are dropped.
+  FaultPlan& add(std::size_t round, FaultKind kind, std::uint32_t target);
+  FaultPlan& add(const FaultEvent& event) { return add(event.round, event.kind, event.target); }
+
+  /// Fails a component at `down_round` and recovers it at `up_round`
+  /// (skipped when up_round <= down_round: a permanent failure).
+  FaultPlan& fail_link(topo::LinkId link, std::size_t down_round, std::size_t up_round = 0);
+  FaultPlan& fail_switch(topo::NodeId node, std::size_t down_round, std::size_t up_round = 0);
+  FaultPlan& fail_host(topo::NodeId host, std::size_t down_round, std::size_t up_round = 0);
+  FaultPlan& fail_shim(topo::RackId rack, std::size_t down_round, std::size_t up_round = 0);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  /// All events, sorted by (round, kind, target) — the deterministic
+  /// application order.
+  [[nodiscard]] std::span<const FaultEvent> events() const noexcept { return events_; }
+  /// The events scheduled exactly at `round`.
+  [[nodiscard]] std::span<const FaultEvent> due(std::size_t round) const;
+  /// The last scheduled round (0 when empty).
+  [[nodiscard]] std::size_t horizon() const noexcept;
+
+  [[nodiscard]] const FaultOptions& options() const noexcept { return options_; }
+  FaultPlan& set_options(FaultOptions options) {
+    options_ = options;
+    return *this;
+  }
+
+  // --- canned scenarios ----------------------------------------------------
+
+  /// The bench scenario: rack `rack`'s ToR dies at `down_round` (orphaning
+  /// its shim, severing its hosts) and reboots at `up_round`.
+  static FaultPlan tor_outage(const topo::Topology& topo, topo::RackId rack,
+                              std::size_t down_round, std::size_t up_round);
+
+  /// `flaps` random link down events, each healing after `down_rounds`
+  /// rounds, spread uniformly over [first_round, last_round). Seeded by
+  /// options.seed; host-facing links are excluded (those are host faults).
+  static FaultPlan random_link_flaps(const topo::Topology& topo, FaultOptions options,
+                                     std::size_t flaps, std::size_t first_round,
+                                     std::size_t last_round, std::size_t down_rounds = 2);
+
+ private:
+  std::vector<FaultEvent> events_;  ///< kept sorted + deduped
+  FaultOptions options_;
+};
+
+}  // namespace sheriff::fault

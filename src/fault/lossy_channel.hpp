@@ -1,0 +1,42 @@
+#pragma once
+// LossyChannel: the unreliable transport under the distributed
+// REQUEST/ACK protocol. Every deliver() is an independent Bernoulli trial
+// from an explicitly seeded Pcg32 — deterministic per (seed, call
+// sequence), so lossy runs replay exactly. The protocol calls it only
+// from serial code (mailbox delivery, commit), which keeps the draw order
+// stable regardless of thread count.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace sheriff::fault {
+
+class LossyChannel {
+ public:
+  /// drop_probability in [0, 1]; 0 = reliable.
+  explicit LossyChannel(double drop_probability = 0.0, std::uint64_t seed = 2015)
+      : drop_probability_(drop_probability), rng_(seed, 0x5e1f0ffULL) {}
+
+  /// True when the message arrives; false = lost (counted).
+  bool deliver() {
+    if (drop_probability_ <= 0.0) return true;
+    if (rng_.bernoulli(drop_probability_)) {
+      ++drops_;
+      return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool lossless() const noexcept { return drop_probability_ <= 0.0; }
+  [[nodiscard]] double drop_probability() const noexcept { return drop_probability_; }
+  [[nodiscard]] std::size_t drops() const noexcept { return drops_; }
+
+ private:
+  double drop_probability_;
+  common::Pcg32 rng_;
+  std::size_t drops_ = 0;
+};
+
+}  // namespace sheriff::fault

@@ -12,7 +12,9 @@ double FairShareResult::available_bandwidth(const topo::Topology& topo,
   return std::max(0.0, topo.link(link).capacity_gbps - link_load_gbps.at(link));
 }
 
-FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> flows) {
+FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> flows,
+                                   const topo::LivenessMask* liveness) {
+  if (liveness != nullptr && liveness->all_up()) liveness = nullptr;
   FairShareResult result;
   result.flow_rate.assign(flows.size(), 0.0);
   result.link_load_gbps.assign(topo.link_count(), 0.0);
@@ -25,9 +27,17 @@ FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> f
   for (std::size_t f = 0; f < flows.size(); ++f) {
     if (!flows[f].routed() || flows[f].effective_demand() <= 0.0) continue;
     const auto& path = flows[f].path;
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    bool path_live = true;
+    for (std::size_t i = 0; path_live && i + 1 < path.size(); ++i) {
       const topo::LinkId l = topo.link_between(path[i], path[i + 1]);
+      path_live = liveness == nullptr || liveness->link_usable(topo, l);
       flow_links[f].push_back(l);
+    }
+    if (!path_live) {
+      flow_links[f].clear();
+      continue;
+    }
+    for (topo::LinkId l : flow_links[f]) {
       link_flows[l].push_back(f);
       result.link_offered_gbps[l] += flows[f].effective_demand();
     }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/flow.hpp"
+#include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
 namespace sheriff::net {
@@ -23,7 +24,11 @@ struct FairShareResult {
 };
 
 /// Computes the max–min fair allocation; also writes each flow's
-/// allocated_gbps. Unrouted flows get rate zero.
-FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> flows);
+/// allocated_gbps. Unrouted flows get rate zero. With a liveness mask,
+/// flows whose path crosses a dead link/node are also rated zero (the
+/// engine re-routes them on fault events; this is the safety net for the
+/// same round the fault hits).
+FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> flows,
+                                   const topo::LivenessMask* liveness = nullptr);
 
 }  // namespace sheriff::net

@@ -19,6 +19,10 @@ void SwitchQueues::update(const FairShareResult& shares, std::span<Flow> flows, 
 
   for (const auto& node : topo_->nodes()) {
     if (!topo::is_switch(node.kind)) continue;
+    if (liveness_ != nullptr && !liveness_->node_up(node.id)) {
+      queue_[node.id] = 0.0;
+      continue;
+    }
     // Excess = worst (offered − serviced) over incident links: demand the
     // switch was asked to carry but could not.
     double excess = 0.0;
@@ -64,6 +68,7 @@ std::vector<topo::NodeId> SwitchQueues::congested_switches() const {
   std::vector<topo::NodeId> out;
   for (const auto& node : topo_->nodes()) {
     if (!topo::is_switch(node.kind)) continue;
+    if (liveness_ != nullptr && !liveness_->node_up(node.id)) continue;
     if (queue_[node.id] > 0.0 && feedback(node.id) < config_.congestion_feedback) {
       out.push_back(node.id);
     }

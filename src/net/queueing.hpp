@@ -9,6 +9,7 @@
 
 #include "net/fair_share.hpp"
 #include "net/flow.hpp"
+#include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
 namespace sheriff::net {
@@ -24,6 +25,11 @@ class SwitchQueues {
  public:
   SwitchQueues(const topo::Topology& topo, QcnConfig config = {});
 
+  /// Attaches a liveness mask (nullptr detaches): a dead switch neither
+  /// accumulates backlog nor signals congestion, and its queue is flushed
+  /// (a crashed switch loses its buffered frames).
+  void set_liveness(const topo::LivenessMask* liveness) { liveness_ = liveness; }
+
   /// Advances the backlog of every switch by `dt` given the current
   /// allocation, and applies DSCP marks to flows through congested
   /// switches.
@@ -38,6 +44,7 @@ class SwitchQueues {
 
  private:
   const topo::Topology* topo_;
+  const topo::LivenessMask* liveness_ = nullptr;
   QcnConfig config_;
   std::vector<double> queue_;       ///< indexed by NodeId (hosts stay zero)
   std::vector<double> prev_queue_;

@@ -29,11 +29,64 @@ bool Flow::transits(topo::NodeId node) const noexcept {
 Router::Router(const topo::Topology& topo)
     : topo_(&topo), hop_graph_(topo.wired_graph(topo::EdgeWeight::kHops)) {}
 
+void Router::apply_liveness(const topo::LivenessMask* liveness) {
+  liveness_ = liveness;
+  rebuild();
+}
+
+bool Router::refresh_liveness() {
+  if (liveness_ == nullptr || liveness_->version() == liveness_version_) return false;
+  rebuild();
+  return true;
+}
+
+void Router::rebuild() {
+  if (liveness_ == nullptr || liveness_->all_up()) {
+    hop_graph_ = topo_->wired_graph(topo::EdgeWeight::kHops);
+    component_.clear();
+    liveness_version_ = liveness_ != nullptr ? liveness_->version() : 0;
+    return;
+  }
+  hop_graph_ = topo_->wired_graph(topo::EdgeWeight::kHops, *liveness_);
+  liveness_version_ = liveness_->version();
+  // Label live components by BFS so reachable() is an O(1) compare.
+  component_.assign(topo_->node_count(), 0);
+  std::uint32_t next_label = 0;
+  std::vector<topo::NodeId> frontier;
+  for (topo::NodeId start = 0; start < topo_->node_count(); ++start) {
+    if (component_[start] != 0 || !liveness_->node_up(start)) continue;
+    ++next_label;
+    component_[start] = next_label;
+    frontier.assign(1, start);
+    while (!frontier.empty()) {
+      const topo::NodeId cur = frontier.back();
+      frontier.pop_back();
+      for (const auto& edge : hop_graph_.neighbors(cur)) {
+        if (component_[edge.to] == 0) {
+          component_[edge.to] = next_label;
+          frontier.push_back(edge.to);
+        }
+      }
+    }
+  }
+}
+
+bool Router::node_live(topo::NodeId node) const {
+  return liveness_ == nullptr || liveness_->node_up(node);
+}
+
+bool Router::reachable(topo::NodeId a, topo::NodeId b) const {
+  if (!node_live(a) || !node_live(b)) return false;
+  if (component_.empty()) return true;  // pristine fabric: connected by validate()
+  return component_[a] == component_[b];
+}
+
 bool Router::route(Flow& flow, std::span<const topo::NodeId> blocked) const {
   SHERIFF_REQUIRE(flow.src_host < topo_->node_count() && flow.dst_host < topo_->node_count(),
                   "flow endpoints out of range");
   flow.path.clear();
   if (flow.src_host == flow.dst_host) return false;
+  if (!reachable(flow.src_host, flow.dst_host)) return false;
 
   std::vector<bool> blocked_mask;
   if (!blocked.empty()) {

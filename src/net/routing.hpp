@@ -3,11 +3,18 @@
 // hop-weighted wired graph; among equal-cost parents the router picks
 // deterministically by a per-flow hash, which spreads flows over the
 // fabric the way ECMP hashing does.
+//
+// The router optionally carries a topo::LivenessMask: dead links/nodes are
+// dropped from the hop graph and a per-node component labelling is
+// recomputed (only when the mask's version changes — fault events are
+// rare, routing queries are not), giving O(1) reachability checks while
+// the fabric is degraded.
 
 #include <span>
 #include <vector>
 
 #include "net/flow.hpp"
+#include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
 namespace sheriff::net {
@@ -16,6 +23,19 @@ class Router {
  public:
   /// The topology must outlive the router.
   explicit Router(const topo::Topology& topo);
+
+  /// Attaches (or detaches, with nullptr) a liveness mask; the mask must
+  /// outlive the router. Triggers a hop-graph + reachability recompute.
+  void apply_liveness(const topo::LivenessMask* liveness);
+
+  /// Re-checks the attached mask's version and recomputes the hop graph
+  /// and component labels if fault events happened since the last call.
+  /// Returns true when a recompute ran.
+  bool refresh_liveness();
+
+  /// True when both nodes are up and connected through live links.
+  [[nodiscard]] bool reachable(topo::NodeId a, topo::NodeId b) const;
+  [[nodiscard]] bool node_live(topo::NodeId node) const;
 
   /// Routes `flow` (fills flow.path). `blocked` nodes are excluded — pass
   /// the hot switches when rerouting (FLOWREROUTE). Returns false when no
@@ -29,8 +49,13 @@ class Router {
   [[nodiscard]] std::size_t shortest_path_count(topo::NodeId src, topo::NodeId dst) const;
 
  private:
+  void rebuild();
+
   const topo::Topology* topo_;
+  const topo::LivenessMask* liveness_ = nullptr;
+  std::uint64_t liveness_version_ = 0;
   graph::Graph hop_graph_;
+  std::vector<std::uint32_t> component_;  ///< live-graph component label per node
 };
 
 }  // namespace sheriff::net

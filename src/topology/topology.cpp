@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "topology/liveness.hpp"
 
 namespace sheriff::topo {
 
@@ -171,6 +172,21 @@ std::vector<RackId> Topology::neighbor_racks(RackId rack_id) const {
 graph::Graph Topology::wired_graph(EdgeWeight weight) const {
   graph::Graph g(nodes_.size());
   for (const Link& l : links_) {
+    double w = 1.0;
+    switch (weight) {
+      case EdgeWeight::kHops: w = 1.0; break;
+      case EdgeWeight::kDistance: w = l.distance_m; break;
+      case EdgeWeight::kInverseCapacity: w = 1.0 / l.capacity_gbps; break;
+    }
+    g.add_edge(l.a, l.b, w);
+  }
+  return g;
+}
+
+graph::Graph Topology::wired_graph(EdgeWeight weight, const LivenessMask& liveness) const {
+  graph::Graph g(nodes_.size());
+  for (const Link& l : links_) {
+    if (!liveness.link_usable(*this, l.id)) continue;
     double w = 1.0;
     switch (weight) {
       case EdgeWeight::kHops: w = 1.0; break;

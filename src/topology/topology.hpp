@@ -12,6 +12,8 @@
 
 namespace sheriff::topo {
 
+class LivenessMask;
+
 /// Edge-weight convention when exporting to a graph::Graph.
 enum class EdgeWeight : std::uint8_t {
   kHops,             ///< every link counts 1 (shortest-hop routing)
@@ -66,6 +68,11 @@ class Topology {
   /// Exports the wired graph with the chosen edge weights. Vertex ids
   /// coincide with NodeIds.
   [[nodiscard]] graph::Graph wired_graph(EdgeWeight weight) const;
+
+  /// Same, restricted to the live fabric: links that are failed, or whose
+  /// endpoint node is failed, are omitted (dead nodes stay as isolated
+  /// vertices so NodeIds keep coinciding with vertex ids).
+  [[nodiscard]] graph::Graph wired_graph(EdgeWeight weight, const LivenessMask& liveness) const;
 
   /// Structural sanity: connected, every host degree 1+ and in a rack,
   /// every rack has a ToR. Throws RequirementError with details if not.

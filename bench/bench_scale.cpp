@@ -1,0 +1,174 @@
+// Scale bench for the per-round hot path: run the engine naive (from-scratch
+// fair share, one Dijkstra per routing query, cost-model trees discarded
+// every round — the pre-optimization behavior) and optimized (incremental
+// FairShareSolver, router tree/path caches, retained cost trees) on the
+// evaluation fabrics, and report rounds/sec, per-phase wall time, and the
+// speedup. Emits machine-readable BENCH_scale.json next to the table; the
+// CI perf gate (tools/check_bench_scale.py) compares the *ratios* — they
+// are machine-independent — against bench/baselines/BENCH_scale_baseline.json.
+//
+// Usage: bench_scale [output.json]
+
+#include <cstddef>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "common/stopwatch.hpp"
+#include "core/engine.hpp"
+#include "topology/bcube.hpp"
+#include "topology/fat_tree.hpp"
+
+namespace {
+
+using namespace sheriff;
+
+struct Scenario {
+  std::string name;
+  topo::Topology topology;
+  std::size_t rounds;
+};
+
+struct RunResult {
+  double seconds = 0.0;
+  double rounds_per_sec = 0.0;
+  core::PhaseProfile phases;
+  net::FairShareSolver::Stats fair_share;
+  net::RouterCacheStats router;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t vms = 0;
+  std::size_t flows = 0;
+  std::size_t rounds = 0;
+  RunResult naive;
+  RunResult optimized;
+  double speedup = 0.0;
+};
+
+RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
+                     std::size_t* flows) {
+  core::EngineConfig config;
+  config.sheriff.cost.computing_cost = 100.0;  // Sec. VI-B settings
+  config.incremental_fair_share = optimized;
+  config.route_cache = optimized;
+  config.retain_cost_trees = optimized;
+  core::DistributedEngine engine(scenario.topology, bench::bench_deployment_options(2015),
+                                 config);
+  if (vms != nullptr) *vms = engine.deployment().vm_count();
+  if (flows != nullptr) *flows = engine.flows().size();
+
+  RunResult result;
+  common::Stopwatch watch;
+  engine.run(scenario.rounds);
+  result.seconds = watch.elapsed_seconds();
+  result.rounds_per_sec = static_cast<double>(scenario.rounds) / result.seconds;
+  result.phases = engine.phase_profile();
+  result.fair_share = engine.fair_share_solver().stats();
+  result.router = engine.router().cache_stats();
+  return result;
+}
+
+void emit_phases(std::ostream& os, const core::PhaseProfile& p, const char* indent) {
+  os << indent << "\"phases_ns\": {"
+     << "\"fault\": " << p.fault_ns << ", "
+     << "\"workload_route\": " << p.workload_ns << ", "
+     << "\"fair_share\": " << p.fair_share_ns << ", "
+     << "\"queue\": " << p.queue_ns << ", "
+     << "\"predict\": " << p.predict_ns << ", "
+     << "\"manage\": " << p.manage_ns << "}";
+}
+
+void emit_run(std::ostream& os, const RunResult& r, const char* name, bool optimized) {
+  os << "    \"" << name << "\": {\n"
+     << "      \"seconds\": " << r.seconds << ",\n"
+     << "      \"rounds_per_sec\": " << r.rounds_per_sec << ",\n";
+  emit_phases(os, r.phases, "      ");
+  if (optimized) {
+    os << ",\n      \"fair_share\": {\"solves\": " << r.fair_share.solves
+       << ", \"full_rebuilds\": " << r.fair_share.full_rebuilds
+       << ", \"affected_flows\": " << r.fair_share.affected_flows
+       << ", \"reused_flows\": " << r.fair_share.reused_flows << "},\n"
+       << "      \"router\": {\"tree_hits\": " << r.router.tree_hits
+       << ", \"tree_misses\": " << r.router.tree_misses
+       << ", \"path_hits\": " << r.router.path_hits
+       << ", \"path_misses\": " << r.router.path_misses << "}";
+  }
+  os << "\n    }";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+  bench::print_figure_header(
+      "Scale", "per-round hot path: naive recompute vs incremental/cached engine",
+      "the optimized engine must clear 3x the naive rounds/sec on the k=16 "
+      "Fat-Tree; the allocation itself is equivalent (locked by the "
+      "differential tests), only the work to produce it shrinks");
+
+  std::vector<Scenario> scenarios;
+  {
+    topo::FatTreeOptions ft;
+    ft.pods = 16;
+    ft.hosts_per_rack = 4;
+    ft.tor_agg_gbps = 1.0;  // Sec. VI-B capacities: contention like Fig. 11/12
+    scenarios.push_back({"fat_tree_k16", topo::build_fat_tree(ft), 12});
+    ft.pods = 24;
+    scenarios.push_back({"fat_tree_k24", topo::build_fat_tree(ft), 6});
+  }
+  {
+    topo::BCubeOptions bc;
+    bc.ports = 4;
+    bc.levels = 2;
+    scenarios.push_back({"bcube_4_2", topo::build_bcube(bc), 30});
+  }
+
+  std::vector<ScenarioResult> results;
+  for (const Scenario& s : scenarios) {
+    ScenarioResult r;
+    r.name = s.name;
+    r.nodes = s.topology.node_count();
+    r.links = s.topology.link_count();
+    r.rounds = s.rounds;
+    std::cout << "\n== " << s.name << " (" << r.nodes << " nodes, " << r.links
+              << " links, " << s.rounds << " rounds) ==\n";
+    r.naive = run_engine(s, false, &r.vms, &r.flows);
+    std::cout << "  naive:     " << std::fixed << std::setprecision(2)
+              << r.naive.rounds_per_sec << " rounds/s (" << r.naive.seconds << " s)\n";
+    r.optimized = run_engine(s, true, nullptr, nullptr);
+    r.speedup = r.optimized.rounds_per_sec / r.naive.rounds_per_sec;
+    std::cout << "  optimized: " << r.optimized.rounds_per_sec << " rounds/s ("
+              << r.optimized.seconds << " s)\n"
+              << "  speedup:   " << std::setprecision(2) << r.speedup << "x\n"
+              << std::defaultfloat << std::setprecision(6);
+    results.push_back(std::move(r));
+  }
+
+  std::ofstream os(out_path);
+  os << "{\n  \"schema\": \"sheriff.bench_scale.v1\",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    os << "  {\n"
+       << "    \"name\": \"" << r.name << "\",\n"
+       << "    \"nodes\": " << r.nodes << ",\n"
+       << "    \"links\": " << r.links << ",\n"
+       << "    \"vms\": " << r.vms << ",\n"
+       << "    \"flows\": " << r.flows << ",\n"
+       << "    \"rounds\": " << r.rounds << ",\n";
+    emit_run(os, r.naive, "naive", false);
+    os << ",\n";
+    emit_run(os, r.optimized, "optimized", true);
+    os << ",\n    \"speedup\": " << r.speedup << "\n  }" << (i + 1 < results.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

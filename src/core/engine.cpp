@@ -1,11 +1,34 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 
 namespace sheriff::core {
+
+namespace {
+/// Accumulates the wall time between construction and destruction into a
+/// PhaseProfile counter (two steady_clock reads per phase).
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(std::uint64_t& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    *sink_ += static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                             std::chrono::steady_clock::now() - start_)
+                                             .count());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  std::uint64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+}  // namespace
 
 DistributedEngine::DistributedEngine(const topo::Topology& topo,
                                      const wl::DeploymentOptions& deployment_options,
@@ -16,7 +39,10 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
       router_(topo),
       rerouter_(router_),
       queues_(topo),
+      solver_(topo),
       cost_model_(topo, deployment_, config.sheriff.cost) {
+  router_.set_cache_enabled(config_.route_cache);
+  cost_model_.set_tree_cache_retained(config_.retain_cost_trees);
   shims_.reserve(topo.rack_count());
   for (topo::RackId r = 0; r < topo.rack_count(); ++r) {
     shims_.emplace_back(r, topo, config.sheriff);
@@ -145,8 +171,12 @@ void DistributedEngine::update_flow_demands() {
   }
 }
 
+common::ThreadPool& DistributedEngine::worker_pool() const {
+  return config_.pool != nullptr ? *config_.pool : common::default_pool();
+}
+
 void DistributedEngine::observe_and_predict() {
-  auto& pool = common::default_pool();
+  auto& pool = worker_pool();
   const auto work = [&](std::size_t i) {
     predictors_[i]->observe(deployment_.vm(static_cast<wl::VmId>(i)).profile);
     predicted_[i] = predictors_[i]->ready()
@@ -175,50 +205,74 @@ RoundMetrics DistributedEngine::run_round() {
 
   // 0. Fault schedule: apply this round's due events, propagate the new
   //    liveness to the router, and tear down routes over dead elements.
-  if (injector_ != nullptr) apply_fault_events(metrics);
+  if (injector_ != nullptr) {
+    PhaseTimer timer(profile_.fault_ns);
+    apply_fault_events(metrics);
+  }
 
   // 1. Workloads evolve; flows track the new traffic levels and any
   //    migrated endpoints.
-  deployment_.advance();
-  for (std::size_t f = 0; f < flows_.size(); ++f) {
-    net::Flow& flow = flows_[f];
-    const topo::NodeId src = deployment_.vm(flow_owner_[f]).host;
-    const topo::NodeId dst = deployment_.vm(flow_peer_[f]).host;
-    if (flow.src_host != src || flow.dst_host != dst) {
-      flow.src_host = src;
-      flow.dst_host = dst;
-      flow.path.clear();
+  {
+    PhaseTimer timer(profile_.workload_ns);
+    deployment_.advance();
+    for (std::size_t f = 0; f < flows_.size(); ++f) {
+      net::Flow& flow = flows_[f];
+      const topo::NodeId src = deployment_.vm(flow_owner_[f]).host;
+      const topo::NodeId dst = deployment_.vm(flow_peer_[f]).host;
+      if (flow.src_host != src || flow.dst_host != dst) {
+        flow.src_host = src;
+        flow.dst_host = dst;
+        flow.path.clear();
+      }
     }
-  }
-  update_flow_demands();
-  for (net::Flow& flow : flows_) {
-    if (!flow.routed()) router_.route(flow);
-  }
-  if (injector_ != nullptr) {
-    for (const net::Flow& flow : flows_) {
-      if (flow.src_host != flow.dst_host && !flow.routed()) ++metrics.unroutable_flows;
+    update_flow_demands();
+    for (net::Flow& flow : flows_) {
+      if (!flow.routed()) router_.route(flow);
+    }
+    if (injector_ != nullptr) {
+      for (const net::Flow& flow : flows_) {
+        if (flow.src_host != flow.dst_host && !flow.routed()) ++metrics.unroutable_flows;
+      }
     }
   }
 
   // 2. Network state: fair share + queue/QCN update, then the end-host
-  //    reaction point adjusts rate limits for the next period.
-  auto shares = net::max_min_fair_share(*topo_, flows_,
-                                        injector_ != nullptr ? &injector_->liveness() : nullptr);
-  queues_.update(shares, flows_);
-  if (config_.qcn_rate_control) {
-    rate_controller_.update(flows_, queues_);
-    metrics.rate_limited_flows = rate_controller_.tracked_flows();
+  //    reaction point adjusts rate limits for the next period. The
+  //    incremental solver re-waterfills only the components touched since
+  //    last round; the from-scratch call is the bench baseline.
+  const topo::LivenessMask* liveness =
+      injector_ != nullptr ? &injector_->liveness() : nullptr;
+  const net::FairShareResult* shares_ptr;
+  {
+    PhaseTimer timer(profile_.fair_share_ns);
+    if (config_.incremental_fair_share) {
+      shares_ptr = &solver_.solve(flows_, liveness);
+    } else {
+      naive_shares_ = net::max_min_fair_share(*topo_, flows_, liveness);
+      shares_ptr = &naive_shares_;
+    }
   }
-  const auto congested = queues_.congested_switches();
-  metrics.congested_switches = congested.size();
-  for (double u : shares.link_utilization) {
-    metrics.max_link_utilization = std::max(metrics.max_link_utilization, u);
+  const net::FairShareResult& shares = *shares_ptr;
+  std::vector<topo::NodeId> congested;
+  {
+    PhaseTimer timer(profile_.queue_ns);
+    queues_.update(shares, flows_, 1.0, config_.parallel_collect ? &worker_pool() : nullptr);
+    if (config_.qcn_rate_control) {
+      rate_controller_.update(flows_, queues_);
+      metrics.rate_limited_flows = rate_controller_.tracked_flows();
+    }
+    congested = queues_.congested_switches();
+    metrics.congested_switches = congested.size();
+    for (double u : shares.link_utilization) {
+      metrics.max_link_utilization = std::max(metrics.max_link_utilization, u);
+    }
+    const auto qos = net::compute_qos_stats(flows_);
+    metrics.flow_satisfaction = qos.mean_satisfaction;
+    metrics.flow_fairness = qos.jain_fairness;
   }
-  const auto qos = net::compute_qos_stats(flows_);
-  metrics.flow_satisfaction = qos.mean_satisfaction;
-  metrics.flow_fairness = qos.jain_fairness;
 
   // 3. Prediction + alert collection (parallel across racks).
+  std::optional<PhaseTimer> predict_timer(std::in_place, profile_.predict_ns);
   observe_and_predict();
   metrics.workload_stddev_before = deployment_.workload_stddev();
   metrics.workload_mean = deployment_.workload_mean();
@@ -272,11 +326,13 @@ RoundMetrics DistributedEngine::run_round() {
       collected[s] = shims_[s].collect(deployment_, predicted_, observations[s]);
     };
     if (config_.parallel_collect && shims_.size() > 8) {
-      common::parallel_for(common::default_pool(), shims_.size(), work);
+      common::parallel_for(worker_pool(), shims_.size(), work);
     } else {
       for (std::size_t s = 0; s < shims_.size(); ++s) work(s);
     }
   }
+  predict_timer.reset();
+  std::optional<PhaseTimer> manage_timer(std::in_place, profile_.manage_ns);
 
   // 4. Management actions. VMs stranded on dead or cut-off hosts are
   //    re-placed through the same machinery as alert-driven migrations (a
@@ -343,7 +399,7 @@ RoundMetrics DistributedEngine::run_round() {
       }
       DistributedMigrationProtocol protocol(
           deployment_, cost_model_, config_.sheriff,
-          config_.parallel_collect ? &common::default_pool() : nullptr, channel_.get(),
+          config_.parallel_collect ? &worker_pool() : nullptr, channel_.get(),
           config_.fault_plan != nullptr ? config_.fault_plan->options().max_protocol_retries
                                         : 0);
       const auto outcome = protocol.run(std::move(demands));
@@ -433,8 +489,10 @@ RoundMetrics DistributedEngine::run_round() {
     metrics.migration_downtime_seconds += plan.total_downtime_seconds;
   }
   cost_model_.set_bandwidth_state(nullptr);
+  manage_timer.reset();
 
   metrics.workload_stddev_after = deployment_.workload_stddev();
+  ++profile_.rounds;
   return metrics;
 }
 

@@ -39,6 +39,10 @@
 #include "topology/topology.hpp"
 #include "workload/deployment.hpp"
 
+namespace sheriff::common {
+class ThreadPool;
+}
+
 namespace sheriff::core {
 
 enum class ManagerMode : std::uint8_t {
@@ -66,6 +70,17 @@ struct EngineConfig {
   double flow_demand_scale_gbps = 0.4;  ///< demand per dependency edge at TRF=1
   bool parallel_collect = true;         ///< run shim collection on the thread pool
   bool qcn_rate_control = true;         ///< end-host reaction to QCN feedback (Sec. III-A.2)
+  // --- per-round hot-path switches (all on by default; turning one off
+  //     reproduces the naive recompute-everything behavior, the bench
+  //     baseline — results are unchanged either way) ----------------------
+  bool incremental_fair_share = true;  ///< stateful FairShareSolver vs from-scratch waterfill
+  bool route_cache = true;             ///< Router shortest-path-tree + resolved-path caches
+  bool retain_cost_trees = true;       ///< keep cost-model Dijkstra trees across rounds
+  /// Worker pool for the parallel sweeps (predictor observe, switch queue
+  /// update, shim collect, protocol propose). nullptr = the process-wide
+  /// default pool. Sweeps are bit-identical for any pool size — tests pin
+  /// pools of size 1/2/8 to prove it.
+  common::ThreadPool* pool = nullptr;
   /// Optional timed fault schedule (link/switch/host/shim failures, lossy
   /// protocol messaging). Must outlive the engine. An empty plan (or
   /// nullptr) reproduces the pristine-fabric run bit for bit.
@@ -105,6 +120,19 @@ struct RoundMetrics {
   std::size_t recovery_migrations = 0; ///< orphaned VMs re-placed this round
 };
 
+/// Wall time spent in each stage of run_round, summed over all rounds run
+/// so far. Feeds bench_scale's per-phase breakdown; not meant to be cheap
+/// enough to leave on in inner loops (it is — two clock reads per phase).
+struct PhaseProfile {
+  std::uint64_t fault_ns = 0;       ///< fault events + liveness propagation
+  std::uint64_t workload_ns = 0;    ///< trace advance + demand updates + routing
+  std::uint64_t fair_share_ns = 0;  ///< max–min allocation
+  std::uint64_t queue_ns = 0;       ///< switch queues + QCN rate control
+  std::uint64_t predict_ns = 0;     ///< predictor observe + shim collect
+  std::uint64_t manage_ns = 0;      ///< reroutes + migration protocol
+  std::size_t rounds = 0;
+};
+
 class DistributedEngine {
  public:
   /// The topology must outlive the engine.
@@ -121,6 +149,11 @@ class DistributedEngine {
   [[nodiscard]] std::span<const net::Flow> flows() const noexcept { return flows_; }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t rounds_run() const noexcept { return round_; }
+  [[nodiscard]] const PhaseProfile& phase_profile() const noexcept { return profile_; }
+  [[nodiscard]] const net::Router& router() const noexcept { return router_; }
+  [[nodiscard]] const net::FairShareSolver& fair_share_solver() const noexcept {
+    return solver_;
+  }
 
   /// Force-collects the alerted VM set of the *current* state (used by
   /// benches that want to hand the same alerts to both manager modes).
@@ -138,6 +171,8 @@ class DistributedEngine {
   void build_flows();
   void update_flow_demands();
   void observe_and_predict();
+  /// The pool the parallel sweeps run on (config override or the default).
+  [[nodiscard]] common::ThreadPool& worker_pool() const;
   [[nodiscard]] std::unique_ptr<ProfilePredictor> make_predictor() const;
   void apply_fault_events(RoundMetrics& metrics);
   void recompute_takeovers();
@@ -152,6 +187,8 @@ class DistributedEngine {
   net::Router router_;
   net::FlowRerouter rerouter_;
   net::SwitchQueues queues_;
+  net::FairShareSolver solver_;
+  net::FairShareResult naive_shares_;  ///< scratch when incremental_fair_share is off
   net::QcnRateController rate_controller_;
   mig::MigrationCostModel cost_model_;
   std::vector<ShimController> shims_;
@@ -166,6 +203,7 @@ class DistributedEngine {
   std::unique_ptr<fault::LossyChannel> channel_;    ///< null = reliable messaging
   std::vector<topo::RackId> takeover_;              ///< managing rack per rack
   std::size_t round_ = 0;
+  PhaseProfile profile_;
 };
 
 }  // namespace sheriff::core

@@ -58,15 +58,27 @@ std::size_t ShortestPathTree::path_count(Vertex target, std::size_t cap) const {
 }
 
 ShortestPathTree dijkstra(const Graph& g, Vertex source, const std::vector<bool>& blocked) {
+  ShortestPathTree tree;
+  dijkstra_into(g, source, blocked, tree);
+  return tree;
+}
+
+void dijkstra_into(const Graph& g, Vertex source, const std::vector<bool>& blocked,
+                   ShortestPathTree& tree) {
   const std::size_t n = g.vertex_count();
   SHERIFF_REQUIRE(source < n, "source out of range");
   SHERIFF_REQUIRE(blocked.empty() || blocked.size() == n, "blocked mask size mismatch");
-  ShortestPathTree tree;
   tree.distance.assign(n, kInfiniteDistance);
-  tree.parents.assign(n, {});
+  // Clear the per-vertex parent lists in place: on reuse this keeps their
+  // heap blocks, which is the point of the _into variant.
+  if (tree.parents.size() == n) {
+    for (auto& p : tree.parents) p.clear();
+  } else {
+    tree.parents.assign(n, {});
+  }
 
   const auto is_blocked = [&](Vertex v) { return !blocked.empty() && blocked[v]; };
-  if (is_blocked(source)) return tree;
+  if (is_blocked(source)) return;
 
   using Item = std::pair<double, Vertex>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
@@ -91,7 +103,6 @@ ShortestPathTree dijkstra(const Graph& g, Vertex source, const std::vector<bool>
       }
     }
   }
-  return tree;
 }
 
 }  // namespace sheriff::graph

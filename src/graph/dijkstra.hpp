@@ -27,4 +27,9 @@ struct ShortestPathTree {
 /// empty meaning nothing is blocked.
 ShortestPathTree dijkstra(const Graph& g, Vertex source, const std::vector<bool>& blocked = {});
 
+/// Same, writing into `out` so repeated runs (the router's cache-miss path)
+/// reuse the tree's allocations instead of rebuilding them per call.
+void dijkstra_into(const Graph& g, Vertex source, const std::vector<bool>& blocked,
+                   ShortestPathTree& out);
+
 }  // namespace sheriff::graph

@@ -19,10 +19,20 @@ MigrationCostModel::MigrationCostModel(const topo::Topology& topo,
 
 void MigrationCostModel::set_bandwidth_state(const net::FairShareResult* shares) {
   shares_ = shares;
-  tree_cache_.clear();
+  if (!retain_trees_) tree_cache_.clear();
 }
 
-void MigrationCostModel::begin_round() { tree_cache_.clear(); }
+void MigrationCostModel::begin_round() {
+  if (!retain_trees_) tree_cache_.clear();
+}
+
+void MigrationCostModel::set_tree_cache_retained(bool retain) {
+  retain_trees_ = retain;
+  if (!retain) {
+    std::scoped_lock lock(cache_mutex_);
+    tree_cache_.clear();
+  }
+}
 
 const graph::ShortestPathTree& MigrationCostModel::tree_for(topo::NodeId source) const {
   {

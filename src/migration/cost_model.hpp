@@ -81,9 +81,17 @@ class MigrationCostModel {
   /// allocator). Without it, links are treated as idle.
   void set_bandwidth_state(const net::FairShareResult* shares);
 
-  /// Invalidates the per-source path cache (topology routing state is
-  /// immutable, but bandwidth changes between rounds).
+  /// Invalidates the per-source path cache. With retention on (default)
+  /// this is a no-op: the trees are built on the immutable distance graph
+  /// and never depend on bandwidth state, so discarding them between
+  /// rounds only re-runs identical Dijkstras.
   void begin_round();
+
+  /// Toggles tree retention across bandwidth-state changes. Disabling
+  /// reproduces the historical clear-every-round behavior (the bench
+  /// baseline); it never changes results, only how often trees rebuild.
+  void set_tree_cache_retained(bool retain);
+  [[nodiscard]] bool tree_cache_retained() const noexcept { return retain_trees_; }
 
   /// Cost of migrating `vm` from its current host to `destination`.
   [[nodiscard]] CostBreakdown cost(wl::VmId vm, topo::NodeId destination) const;
@@ -109,6 +117,7 @@ class MigrationCostModel {
   CostParams params_;
   graph::Graph distance_graph_;
   const net::FairShareResult* shares_ = nullptr;
+  bool retain_trees_ = true;
   // Values are stable pointers so concurrent readers can hold references
   // across rehashes; the mutex only guards lookups/insertions.
   mutable std::mutex cache_mutex_;

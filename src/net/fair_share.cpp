@@ -7,9 +7,14 @@
 
 namespace sheriff::net {
 
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
 double FairShareResult::available_bandwidth(const topo::Topology& topo,
                                             topo::LinkId link) const {
-  return std::max(0.0, topo.link(link).capacity_gbps - link_load_gbps.at(link));
+  SHERIFF_REQUIRE(link < link_load_gbps.size(), "link id out of range for fair-share result");
+  return std::max(0.0, topo.link(link).capacity_gbps - link_load_gbps[link]);
 }
 
 FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> flows,
@@ -58,7 +63,6 @@ FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> f
     }
   }
 
-  constexpr double kEps = 1e-12;
   // Progressive filling: raise all active rates together until either some
   // link saturates or some flow reaches its demand, freeze, repeat.
   while (n_active > 0) {
@@ -112,6 +116,241 @@ FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> f
     result.link_utilization[l] = result.link_load_gbps[l] / topo.link(l).capacity_gbps;
   }
   return result;
+}
+
+// --- FairShareSolver --------------------------------------------------------
+
+FairShareSolver::FairShareSolver(const topo::Topology& topo) : topo_(&topo) {}
+
+void FairShareSolver::invalidate() { force_rebuild_ = true; }
+
+void FairShareSolver::reindex_flow(std::size_t f, const Flow& flow) {
+  for (topo::LinkId l : flow_links_[f]) {
+    auto& list = link_flows_[l];
+    list.erase(std::find(list.begin(), list.end(), static_cast<std::uint32_t>(f)));
+  }
+  flow_links_[f].clear();
+  cached_path_[f] = flow.path;
+  if (flow.path.size() >= 2) {
+    flow_links_[f].reserve(flow.path.size() - 1);
+    for (std::size_t i = 0; i + 1 < flow.path.size(); ++i) {
+      flow_links_[f].push_back(topo_->link_between(flow.path[i], flow.path[i + 1]));
+    }
+    for (topo::LinkId l : flow_links_[f]) {
+      link_flows_[l].push_back(static_cast<std::uint32_t>(f));
+    }
+  }
+}
+
+void FairShareSolver::refresh_liveness(const topo::LivenessMask* liveness) {
+  if (liveness == nullptr) {
+    if (!had_liveness_) return;  // bitmap is already all-usable
+    for (topo::LinkId l = 0; l < topo_->link_count(); ++l) {
+      if (!link_usable_[l]) {
+        link_usable_[l] = 1;
+        changed_links_.push_back(l);
+      }
+    }
+    had_liveness_ = false;
+    last_mask_ = nullptr;
+    return;
+  }
+  if (had_liveness_ && last_mask_ == liveness && liveness->version() == liveness_version_) {
+    return;
+  }
+  for (topo::LinkId l = 0; l < topo_->link_count(); ++l) {
+    const char usable = liveness->link_usable(*topo_, l) ? 1 : 0;
+    if (usable != link_usable_[l]) {
+      link_usable_[l] = usable;
+      changed_links_.push_back(l);
+    }
+  }
+  had_liveness_ = true;
+  last_mask_ = liveness;
+  liveness_version_ = liveness->version();
+}
+
+const FairShareResult& FairShareSolver::solve(std::span<Flow> flows,
+                                              const topo::LivenessMask* liveness) {
+  if (liveness != nullptr && liveness->all_up()) liveness = nullptr;
+  ++stats_.solves;
+  const std::size_t n = flows.size();
+  const std::size_t link_count = topo_->link_count();
+
+  const bool full = force_rebuild_ || n != cached_demand_.size();
+  if (full) {
+    ++stats_.full_rebuilds;
+    force_rebuild_ = false;
+    cached_path_.assign(n, {});
+    flow_links_.assign(n, {});
+    cached_demand_.assign(n, 0.0);
+    participates_.assign(n, 0);
+    now_participates_.assign(n, 0);
+    link_flows_.assign(link_count, {});
+    result_.flow_rate.assign(n, 0.0);
+    result_.link_load_gbps.assign(link_count, 0.0);
+    result_.link_offered_gbps.assign(link_count, 0.0);
+    result_.link_utilization.assign(link_count, 0.0);
+    flow_mark_.assign(n, 0);
+    link_mark_.assign(link_count, 0);
+    avail_.assign(link_count, 0.0);
+    active_on_link_.assign(link_count, 0);
+    link_usable_.assign(link_count, 1);
+    had_liveness_ = false;
+    last_mask_ = nullptr;
+    epoch_ = 0;
+  }
+
+  ++epoch_;
+  dirty_queue_.clear();
+  touched_links_.clear();
+  changed_links_.clear();
+
+  const auto mark_flow = [&](std::uint32_t f) {
+    if (flow_mark_[f] != epoch_) {
+      flow_mark_[f] = epoch_;
+      dirty_queue_.push_back(f);
+    }
+  };
+  // Touching a link pulls every flow whose routed path crosses it into the
+  // dirty closure; the link itself is re-accumulated by refill().
+  const auto touch_link = [&](topo::LinkId l) {
+    if (link_mark_[l] != epoch_) {
+      link_mark_[l] = epoch_;
+      touched_links_.push_back(l);
+      for (std::uint32_t g : link_flows_[l]) mark_flow(g);
+    }
+  };
+
+  refresh_liveness(liveness);
+  for (topo::LinkId l : changed_links_) {
+    for (std::uint32_t g : link_flows_[l]) mark_flow(g);
+  }
+
+  // --- dirty detection: demand, rate-limit, and path edits ------------------
+  for (std::size_t f = 0; f < n; ++f) {
+    const Flow& flow = flows[f];
+    const bool path_changed = flow.path.size() != cached_path_[f].size() ||
+                              !std::equal(flow.path.begin(), flow.path.end(),
+                                          cached_path_[f].begin());
+    if (path_changed) {
+      mark_flow(static_cast<std::uint32_t>(f));
+      // The links the flow leaves lose its contribution: their co-flows
+      // must refill too (only if the flow was actually counted on them).
+      if (participates_[f]) {
+        for (topo::LinkId l : flow_links_[f]) touch_link(l);
+      }
+      reindex_flow(f, flow);
+    }
+    const double eff = flow.effective_demand();
+    if (eff != cached_demand_[f]) {
+      cached_demand_[f] = eff;
+      mark_flow(static_cast<std::uint32_t>(f));
+    }
+  }
+  stats_.dirty_flows += dirty_queue_.size();
+
+  // --- closure: expand over shared links ------------------------------------
+  // Flows that carry (or carried) bandwidth propagate: every link they
+  // touch is refilled, and every flow on such a link joins the closure.
+  for (std::size_t i = 0; i < dirty_queue_.size(); ++i) {
+    const std::uint32_t f = dirty_queue_[i];
+    bool now = flows[f].routed() && cached_demand_[f] > 0.0;
+    if (now && had_liveness_) {
+      for (topo::LinkId l : flow_links_[f]) {
+        if (!link_usable_[l]) {
+          now = false;
+          break;
+        }
+      }
+    }
+    now_participates_[f] = now ? 1 : 0;
+    if (now || participates_[f]) {
+      for (topo::LinkId l : flow_links_[f]) touch_link(l);
+    }
+  }
+  stats_.affected_flows += dirty_queue_.size();
+  stats_.reused_flows += n - dirty_queue_.size();
+
+  refill(flows);
+
+  for (std::size_t f = 0; f < n; ++f) flows[f].allocated_gbps = result_.flow_rate[f];
+  return result_;
+}
+
+void FairShareSolver::refill(std::span<Flow> flows) {
+  (void)flows;
+  // Reset the touched links; only closure flows contribute to them (no
+  // unaffected flow can sit on a touched link, by construction).
+  for (topo::LinkId l : touched_links_) {
+    avail_[l] = topo_->link(l).capacity_gbps;
+    active_on_link_[l] = 0;
+    result_.link_load_gbps[l] = 0.0;
+    result_.link_offered_gbps[l] = 0.0;
+  }
+
+  active_.clear();
+  for (const std::uint32_t f : dirty_queue_) {
+    participates_[f] = now_participates_[f];
+    result_.flow_rate[f] = 0.0;
+    if (!now_participates_[f]) continue;
+    active_.push_back(f);
+    for (topo::LinkId l : flow_links_[f]) {
+      ++active_on_link_[l];
+      result_.link_offered_gbps[l] += cached_demand_[f];
+    }
+  }
+
+  // Progressive filling restricted to the closure (same event rules as the
+  // reference implementation; see max_min_fair_share above).
+  while (!active_.empty()) {
+    double increment = std::numeric_limits<double>::infinity();
+    for (topo::LinkId l : touched_links_) {
+      if (active_on_link_[l] > 0) {
+        increment =
+            std::min(increment, avail_[l] / static_cast<double>(active_on_link_[l]));
+      }
+    }
+    for (std::uint32_t f : active_) {
+      increment = std::min(increment, cached_demand_[f] - result_.flow_rate[f]);
+    }
+    increment = std::max(increment, 0.0);
+
+    for (std::uint32_t f : active_) {
+      result_.flow_rate[f] += increment;
+      for (topo::LinkId l : flow_links_[f]) avail_[l] -= increment;
+    }
+
+    next_active_.clear();
+    std::size_t frozen = 0;
+    for (std::uint32_t f : active_) {
+      bool freeze = result_.flow_rate[f] >= cached_demand_[f] - kEps;
+      if (!freeze) {
+        for (topo::LinkId l : flow_links_[f]) {
+          if (avail_[l] <= kEps) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        ++frozen;
+        for (topo::LinkId l : flow_links_[f]) --active_on_link_[l];
+      } else {
+        next_active_.push_back(f);
+      }
+    }
+    SHERIFF_REQUIRE(frozen > 0, "incremental progressive filling failed to make progress");
+    std::swap(active_, next_active_);
+  }
+
+  for (const std::uint32_t f : dirty_queue_) {
+    if (!participates_[f]) continue;
+    for (topo::LinkId l : flow_links_[f]) result_.link_load_gbps[l] += result_.flow_rate[f];
+  }
+  for (topo::LinkId l : touched_links_) {
+    result_.link_utilization[l] = result_.link_load_gbps[l] / topo_->link(l).capacity_gbps;
+  }
 }
 
 }  // namespace sheriff::net

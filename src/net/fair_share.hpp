@@ -3,7 +3,21 @@
 // over routed flows. This produces the per-link signals the management
 // algorithms consume: available bandwidth B(e), utilization rate P(e), and
 // per-flow achieved rate.
+//
+// Two implementations share the same semantics:
+//
+//   * max_min_fair_share — the from-scratch reference: resolves every
+//     flow's path into link ids and runs progressive filling over the whole
+//     fabric. Simple, allocation-heavy, O(rebuild) per call.
+//   * FairShareSolver — the incremental solver the engine's per-round hot
+//     path uses. It keeps the flow↔link incidence and the previous
+//     allocation across calls, detects which flows changed (demand, path,
+//     rate limit, link liveness), closes the dirty set over shared links,
+//     and re-waterfills only the affected flows. Untouched components keep
+//     their previous rates. See DESIGN.md §7 for the dirty-set algorithm
+//     and the equivalence argument.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -30,5 +44,86 @@ struct FairShareResult {
 /// same round the fault hits).
 FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> flows,
                                    const topo::LivenessMask* liveness = nullptr);
+
+/// Stateful incremental max–min solver. Call solve() once per round with
+/// the same flow table (flows are matched positionally: index i must mean
+/// the same flow across calls — append-only growth or a wholesale swap
+/// both trigger a safe full rebuild).
+///
+/// The allocation it returns matches max_min_fair_share on the same inputs
+/// to floating-point noise (the differential test bounds it at 1e-9): a
+/// max–min allocation decomposes over connected components of the
+/// flow–link sharing graph, so components untouched by this round's
+/// changes provably keep their previous rates.
+class FairShareSolver {
+ public:
+  struct Stats {
+    std::size_t solves = 0;
+    std::size_t full_rebuilds = 0;    ///< solves that refilled everything
+    std::size_t dirty_flows = 0;      ///< cumulative directly-changed flows
+    std::size_t affected_flows = 0;   ///< cumulative refilled flows (closure)
+    std::size_t reused_flows = 0;     ///< cumulative flows that kept their rate
+  };
+
+  /// The topology must outlive the solver.
+  explicit FairShareSolver(const topo::Topology& topo);
+
+  /// Computes the allocation for `flows`, reusing the previous call's
+  /// state. Also writes each flow's allocated_gbps. The returned reference
+  /// stays valid (and is updated in place) until the next solve().
+  const FairShareResult& solve(std::span<Flow> flows,
+                               const topo::LivenessMask* liveness = nullptr);
+
+  [[nodiscard]] const FairShareResult& result() const noexcept { return result_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Drops all cached state; the next solve() rebuilds from scratch.
+  void invalidate();
+
+ private:
+  /// Re-resolves flow f's path into link ids and splices the raw
+  /// incidence lists; returns true when the links changed.
+  void reindex_flow(std::size_t f, const Flow& flow);
+  /// Refreshes the cached link-usable bitmap; appends every link whose
+  /// usability flipped to `changed_links_`.
+  void refresh_liveness(const topo::LivenessMask* liveness);
+  /// Progressive filling restricted to the affected flows (indices in
+  /// `dirty_queue_`), writing rates into result_.flow_rate.
+  void refill(std::span<Flow> flows);
+
+  const topo::Topology* topo_;
+  FairShareResult result_;
+  Stats stats_;
+  bool force_rebuild_ = true;
+
+  // Cached per-flow state (indexed like the input span).
+  std::vector<std::vector<topo::NodeId>> cached_path_;
+  std::vector<std::vector<topo::LinkId>> flow_links_;  ///< raw path links (liveness-agnostic)
+  std::vector<double> cached_demand_;                  ///< effective demand at last solve
+  std::vector<char> participates_;      ///< counted in the last allocation
+  std::vector<char> now_participates_;  ///< scratch: valid for closure flows only
+
+  // Raw incidence: every flow whose routed path crosses the link,
+  // regardless of demand or liveness (so status flips stay discoverable).
+  std::vector<std::vector<std::uint32_t>> link_flows_;
+
+  // Liveness snapshot for diffing.
+  std::vector<char> link_usable_;
+  const topo::LivenessMask* last_mask_ = nullptr;
+  std::uint64_t liveness_version_ = 0;
+  bool had_liveness_ = false;
+
+  // Scratch (epoch-marked to avoid per-solve clears).
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> flow_mark_;   ///< epoch when flow became affected
+  std::vector<std::uint32_t> link_mark_;   ///< epoch when link became touched
+  std::vector<std::uint32_t> dirty_queue_;  ///< affected-flow closure worklist
+  std::vector<topo::LinkId> touched_links_;
+  std::vector<topo::LinkId> changed_links_;
+  std::vector<double> avail_;              ///< per-link remaining capacity (refill scratch)
+  std::vector<std::uint32_t> active_on_link_;
+  std::vector<std::uint32_t> active_;      ///< compact active-flow worklist
+  std::vector<std::uint32_t> next_active_;
+};
 
 }  // namespace sheriff::net

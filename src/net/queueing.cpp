@@ -3,8 +3,15 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "common/thread_pool.hpp"
 
 namespace sheriff::net {
+
+namespace {
+/// Fan-out floor: below this many items the task-dispatch overhead beats
+/// the work itself and the sweep runs inline.
+constexpr std::size_t kParallelGrain = 256;
+}  // namespace
 
 SwitchQueues::SwitchQueues(const topo::Topology& topo, QcnConfig config)
     : topo_(&topo), config_(config) {
@@ -12,16 +19,20 @@ SwitchQueues::SwitchQueues(const topo::Topology& topo, QcnConfig config)
   prev_queue_.assign(topo.node_count(), 0.0);
 }
 
-void SwitchQueues::update(const FairShareResult& shares, std::span<Flow> flows, double dt) {
+void SwitchQueues::update(const FairShareResult& shares, std::span<Flow> flows, double dt,
+                          common::ThreadPool* pool) {
   SHERIFF_REQUIRE(shares.link_load_gbps.size() == topo_->link_count(),
                   "fair-share result does not match topology");
   prev_queue_ = queue_;
 
-  for (const auto& node : topo_->nodes()) {
-    if (!topo::is_switch(node.kind)) continue;
+  // Per-switch backlog integration: each index touches only queue_[node],
+  // so the sweep parallelizes without changing any result.
+  const auto integrate = [&](std::size_t id) {
+    const auto& node = topo_->node(static_cast<topo::NodeId>(id));
+    if (!topo::is_switch(node.kind)) return;
     if (liveness_ != nullptr && !liveness_->node_up(node.id)) {
       queue_[node.id] = 0.0;
-      continue;
+      return;
     }
     // Excess = worst (offered − serviced) over incident links: demand the
     // switch was asked to carry but could not.
@@ -35,12 +46,19 @@ void SwitchQueues::update(const FairShareResult& shares, std::span<Flow> flows, 
       queue_[node.id] *= std::max(0.0, 1.0 - config_.drain_factor * dt);
       if (queue_[node.id] < 1e-9) queue_[node.id] = 0.0;
     }
+  };
+  if (pool != nullptr && topo_->node_count() >= kParallelGrain) {
+    common::parallel_for(*pool, topo_->node_count(), integrate);
+  } else {
+    for (std::size_t id = 0; id < topo_->node_count(); ++id) integrate(id);
   }
 
   // DSCP marking: flows transiting a congested switch get marked, others
-  // get cleared (the mark reflects the current state, not history).
+  // get cleared (the mark reflects the current state, not history). Each
+  // index writes only its own flow's mark.
   const auto hot = congested_switches();
-  for (Flow& f : flows) {
+  const auto mark = [&](std::size_t i) {
+    Flow& f = flows[i];
     bool marked = false;
     for (topo::NodeId sw : hot) {
       if (f.transits(sw)) {
@@ -49,6 +67,11 @@ void SwitchQueues::update(const FairShareResult& shares, std::span<Flow> flows, 
       }
     }
     f.dscp = marked ? DscpMark::kCongested : DscpMark::kNone;
+  };
+  if (pool != nullptr && !hot.empty() && flows.size() >= kParallelGrain) {
+    common::parallel_for(*pool, flows.size(), mark);
+  } else {
+    for (std::size_t i = 0; i < flows.size(); ++i) mark(i);
   }
 }
 

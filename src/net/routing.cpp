@@ -19,6 +19,34 @@ std::uint32_t mix(std::uint32_t x) noexcept {
   return x;
 }
 
+/// Bound on cached shortest-path trees before a wholesale clear: enough
+/// for every host of the biggest bench fabrics plus reroute variants,
+/// small enough to bound memory on degenerate query streams.
+constexpr std::size_t kMaxCachedTrees = 4096;
+/// Flow ids above this skip the path cache (keeps the id-indexed table
+/// dense; engine flow tables are far below it).
+constexpr std::size_t kMaxPathCacheFlows = 1u << 20;
+
+/// Walk back from dst, hashing over tight parents: ECMP. Hash depends on
+/// flow id and depth so consecutive flows take different spines. Returns
+/// false (path untouched) when dst is unreachable in the tree.
+bool walk_ecmp(const graph::ShortestPathTree& tree, Flow& flow, std::size_t node_count) {
+  if (tree.distance[flow.dst_host] == graph::kInfiniteDistance) return false;
+  std::vector<topo::NodeId> reverse_path{flow.dst_host};
+  topo::NodeId cur = flow.dst_host;
+  std::uint32_t salt = mix(flow.id * 0x9e3779b9U + 1U);
+  while (cur != flow.src_host) {
+    const auto& parents = tree.parents[cur];
+    SHERIFF_REQUIRE(!parents.empty(), "broken shortest path tree");
+    salt = mix(salt + static_cast<std::uint32_t>(reverse_path.size()));
+    cur = parents[salt % parents.size()];
+    reverse_path.push_back(cur);
+    SHERIFF_REQUIRE(reverse_path.size() <= node_count, "routing loop detected");
+  }
+  flow.path.assign(reverse_path.rbegin(), reverse_path.rend());
+  return true;
+}
+
 }  // namespace
 
 bool Flow::transits(topo::NodeId node) const noexcept {
@@ -40,7 +68,21 @@ bool Router::refresh_liveness() {
   return true;
 }
 
+void Router::set_cache_enabled(bool enabled) {
+  cache_enabled_ = enabled;
+  clear_caches();
+}
+
+void Router::clear_caches() const {
+  std::scoped_lock lock(cache_mutex_);
+  if (tree_cache_entries_ > 0 || !path_cache_.empty()) ++cache_stats_.evictions;
+  tree_cache_.clear();
+  tree_cache_entries_ = 0;
+  path_cache_.clear();
+}
+
 void Router::rebuild() {
+  clear_caches();
   if (liveness_ == nullptr || liveness_->all_up()) {
     hop_graph_ = topo_->wired_graph(topo::EdgeWeight::kHops);
     component_.clear();
@@ -81,41 +123,97 @@ bool Router::reachable(topo::NodeId a, topo::NodeId b) const {
   return component_[a] == component_[b];
 }
 
+const graph::ShortestPathTree& Router::tree_for(topo::NodeId src,
+                                                std::span<const topo::NodeId> blocked) const {
+  std::vector<topo::NodeId> key(blocked.begin(), blocked.end());
+  std::sort(key.begin(), key.end());
+  {
+    std::scoped_lock lock(cache_mutex_);
+    const auto it = tree_cache_.find(src);
+    if (it != tree_cache_.end()) {
+      for (const TreeSlot& slot : it->second) {
+        if (slot.blocked == key) {
+          ++cache_stats_.tree_hits;
+          return *slot.tree;
+        }
+      }
+    }
+    ++cache_stats_.tree_misses;
+  }
+
+  // Compute outside the lock (two threads may race on the same key; the
+  // loser's duplicate is kept too — harmless, both trees are identical).
+  std::vector<bool> blocked_mask;
+  if (!blocked.empty()) {
+    blocked_mask.assign(topo_->node_count(), false);
+    for (topo::NodeId b : blocked) blocked_mask[b] = true;
+  }
+  auto tree = std::make_unique<graph::ShortestPathTree>();
+  graph::dijkstra_into(hop_graph_, src, blocked_mask, *tree);
+
+  std::scoped_lock lock(cache_mutex_);
+  if (tree_cache_entries_ >= kMaxCachedTrees) {
+    ++cache_stats_.evictions;
+    tree_cache_.clear();
+    tree_cache_entries_ = 0;
+  }
+  auto& slots = tree_cache_[src];
+  slots.push_back(TreeSlot{std::move(key), std::move(tree)});
+  ++tree_cache_entries_;
+  return *slots.back().tree;
+}
+
 bool Router::route(Flow& flow, std::span<const topo::NodeId> blocked) const {
   SHERIFF_REQUIRE(flow.src_host < topo_->node_count() && flow.dst_host < topo_->node_count(),
                   "flow endpoints out of range");
   flow.path.clear();
   if (flow.src_host == flow.dst_host) return false;
   if (!reachable(flow.src_host, flow.dst_host)) return false;
+  for (topo::NodeId b : blocked) {
+    SHERIFF_REQUIRE(b != flow.src_host && b != flow.dst_host, "cannot block a flow endpoint");
+  }
 
-  std::vector<bool> blocked_mask;
-  if (!blocked.empty()) {
-    blocked_mask.assign(topo_->node_count(), false);
-    for (topo::NodeId b : blocked) {
-      SHERIFF_REQUIRE(b != flow.src_host && b != flow.dst_host,
-                      "cannot block a flow endpoint");
-      blocked_mask[b] = true;
+  // Resolved-path cache: the ECMP walk is a pure function of (flow id,
+  // src, dst) on a fixed live fabric, so an unblocked repeat query can
+  // return the stored path outright.
+  const bool path_cacheable =
+      cache_enabled_ && blocked.empty() && flow.id < kMaxPathCacheFlows;
+  if (path_cacheable) {
+    std::scoped_lock lock(cache_mutex_);
+    if (flow.id < path_cache_.size()) {
+      const PathEntry& entry = path_cache_[flow.id];
+      if (entry.src == flow.src_host && entry.dst == flow.dst_host) {
+        ++cache_stats_.path_hits;
+        flow.path = entry.path;
+        return entry.ok;
+      }
     }
+    ++cache_stats_.path_misses;
   }
 
-  const auto tree = graph::dijkstra(hop_graph_, flow.src_host, blocked_mask);
-  if (tree.distance[flow.dst_host] == graph::kInfiniteDistance) return false;
-
-  // Walk back from dst, hashing over tight parents: ECMP. Hash depends on
-  // flow id and depth so consecutive flows take different spines.
-  std::vector<topo::NodeId> reverse_path{flow.dst_host};
-  topo::NodeId cur = flow.dst_host;
-  std::uint32_t salt = mix(flow.id * 0x9e3779b9U + 1U);
-  while (cur != flow.src_host) {
-    const auto& parents = tree.parents[cur];
-    SHERIFF_REQUIRE(!parents.empty(), "broken shortest path tree");
-    salt = mix(salt + static_cast<std::uint32_t>(reverse_path.size()));
-    cur = parents[salt % parents.size()];
-    reverse_path.push_back(cur);
-    SHERIFF_REQUIRE(reverse_path.size() <= topo_->node_count(), "routing loop detected");
+  bool ok;
+  if (cache_enabled_) {
+    ok = walk_ecmp(tree_for(flow.src_host, blocked), flow, topo_->node_count());
+  } else {
+    std::vector<bool> blocked_mask;
+    if (!blocked.empty()) {
+      blocked_mask.assign(topo_->node_count(), false);
+      for (topo::NodeId b : blocked) blocked_mask[b] = true;
+    }
+    const auto tree = graph::dijkstra(hop_graph_, flow.src_host, blocked_mask);
+    ok = walk_ecmp(tree, flow, topo_->node_count());
   }
-  flow.path.assign(reverse_path.rbegin(), reverse_path.rend());
-  return true;
+
+  if (path_cacheable) {
+    std::scoped_lock lock(cache_mutex_);
+    if (path_cache_.size() <= flow.id) path_cache_.resize(flow.id + 1);
+    PathEntry& entry = path_cache_[flow.id];
+    entry.src = flow.src_host;
+    entry.dst = flow.dst_host;
+    entry.ok = ok;
+    entry.path = flow.path;
+  }
+  return ok;
 }
 
 std::size_t Router::route_all(std::span<Flow> flows) const {
@@ -127,6 +225,7 @@ std::size_t Router::route_all(std::span<Flow> flows) const {
 }
 
 std::size_t Router::shortest_path_count(topo::NodeId src, topo::NodeId dst) const {
+  if (cache_enabled_) return tree_for(src, {}).path_count(dst);
   const auto tree = graph::dijkstra(hop_graph_, src);
   return tree.path_count(dst);
 }

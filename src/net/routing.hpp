@@ -9,15 +9,38 @@
 // recomputed (only when the mask's version changes — fault events are
 // rare, routing queries are not), giving O(1) reachability checks while
 // the fabric is degraded.
+//
+// Caching: routing queries repeat heavily — route_all shares sources
+// across flows, FLOWREROUTE blocks the same hot switch for many flows, and
+// migrations re-route a handful of flows per round on an unchanged fabric.
+// The router therefore keeps (a) a shortest-path-tree cache keyed on
+// (source, blocked set) and (b) a resolved-path cache keyed on the flow id
+// and its endpoints (the ECMP hash is a pure function of those). Both are
+// dropped whenever the liveness version moves, so every cached entry is
+// implicitly keyed on the liveness epoch. Disable via set_cache_enabled
+// to get the naive one-Dijkstra-per-query behavior (the bench baseline).
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "graph/dijkstra.hpp"
 #include "net/flow.hpp"
 #include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
 namespace sheriff::net {
+
+struct RouterCacheStats {
+  std::size_t tree_hits = 0;
+  std::size_t tree_misses = 0;
+  std::size_t path_hits = 0;
+  std::size_t path_misses = 0;
+  std::size_t evictions = 0;  ///< wholesale cache clears (liveness or overflow)
+};
 
 class Router {
  public:
@@ -48,14 +71,44 @@ class Router {
   /// Number of distinct shortest paths between two hosts (diagnostics).
   [[nodiscard]] std::size_t shortest_path_count(topo::NodeId src, topo::NodeId dst) const;
 
+  /// Toggles the tree/path caches (enabled by default); disabling clears
+  /// them, giving the naive recompute-every-query behavior.
+  void set_cache_enabled(bool enabled);
+  [[nodiscard]] bool cache_enabled() const noexcept { return cache_enabled_; }
+  [[nodiscard]] const RouterCacheStats& cache_stats() const noexcept { return cache_stats_; }
+
  private:
   void rebuild();
+  void clear_caches() const;
+  /// The shortest-path tree out of `src` under `blocked`, cached. The
+  /// reference stays valid until the next liveness change (values are
+  /// stable unique_ptrs, so concurrent readers survive rehashes).
+  const graph::ShortestPathTree& tree_for(topo::NodeId src,
+                                          std::span<const topo::NodeId> blocked) const;
 
   const topo::Topology* topo_;
   const topo::LivenessMask* liveness_ = nullptr;
   std::uint64_t liveness_version_ = 0;
   graph::Graph hop_graph_;
   std::vector<std::uint32_t> component_;  ///< live-graph component label per node
+
+  // --- caches (logically const; guarded for concurrent route() calls) ------
+  struct TreeSlot {
+    std::vector<topo::NodeId> blocked;  ///< sorted blocked set this tree was built under
+    std::unique_ptr<graph::ShortestPathTree> tree;
+  };
+  struct PathEntry {
+    topo::NodeId src = topo::kInvalidNode;
+    topo::NodeId dst = topo::kInvalidNode;
+    bool ok = false;
+    std::vector<topo::NodeId> path;
+  };
+  bool cache_enabled_ = true;
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<topo::NodeId, std::vector<TreeSlot>> tree_cache_;
+  mutable std::size_t tree_cache_entries_ = 0;
+  mutable std::vector<PathEntry> path_cache_;  ///< indexed by FlowId
+  mutable RouterCacheStats cache_stats_;
 };
 
 }  // namespace sheriff::net

@@ -1,0 +1,244 @@
+// Differential harness for the incremental fair-share solver: drive a
+// FairShareSolver through long random perturbation sequences (demand
+// changes, rate-limit toggles, link/switch liveness flips, reroutes,
+// endpoint migrations, flow-table growth) and check after every step that
+// it matches the from-scratch reference on every flow rate and link load
+// to 1e-9. This is the lockdown for the dirty-set algorithm of DESIGN.md
+// §7 — any missed invalidation shows up as a stale rate here.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "net/fair_share.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/liveness.hpp"
+
+namespace topo = sheriff::topo;
+namespace net = sheriff::net;
+namespace sc = sheriff::common;
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+topo::Topology contended_fat_tree() {
+  topo::FatTreeOptions options;
+  options.pods = 4;
+  options.hosts_per_rack = 2;
+  options.tor_agg_gbps = 1.0;  // narrow uplinks: most seeds hit saturation
+  return topo::build_fat_tree(options);
+}
+
+net::Flow make_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst, double demand) {
+  net::Flow f;
+  f.id = id;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.demand_gbps = demand;
+  return f;
+}
+
+/// Runs the from-scratch reference on a copy and compares every flow rate,
+/// allocated_gbps, and per-link load/offered/utilization.
+void expect_matches_reference(const topo::Topology& t, const std::vector<net::Flow>& flows,
+                              const topo::LivenessMask* mask,
+                              const net::FairShareResult& incremental, std::size_t step) {
+  std::vector<net::Flow> reference_flows = flows;
+  const auto reference = net::max_min_fair_share(t, reference_flows, mask);
+  ASSERT_EQ(incremental.flow_rate.size(), reference.flow_rate.size()) << "step " << step;
+  for (std::size_t f = 0; f < reference.flow_rate.size(); ++f) {
+    EXPECT_NEAR(incremental.flow_rate[f], reference.flow_rate[f], kTol)
+        << "flow " << f << " at step " << step;
+    EXPECT_NEAR(flows[f].allocated_gbps, reference_flows[f].allocated_gbps, kTol)
+        << "flow " << f << " at step " << step;
+  }
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    EXPECT_NEAR(incremental.link_load_gbps[l], reference.link_load_gbps[l], kTol)
+        << "link " << l << " at step " << step;
+    EXPECT_NEAR(incremental.link_offered_gbps[l], reference.link_offered_gbps[l], kTol)
+        << "link " << l << " at step " << step;
+    EXPECT_NEAR(incremental.link_utilization[l], reference.link_utilization[l], kTol)
+        << "link " << l << " at step " << step;
+  }
+}
+
+}  // namespace
+
+class FairShareDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareDifferential, IncrementalMatchesFromScratchUnderPerturbations) {
+  sc::Pcg32 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
+  const auto t = contended_fat_tree();
+  net::Router router(t);
+  topo::LivenessMask mask(t);
+  router.apply_liveness(&mask);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  const auto cores = t.nodes_of_kind(topo::NodeKind::kCoreSwitch);
+
+  std::vector<net::Flow> flows;
+  const std::size_t n_flows = 24 + rng.next_below(48);
+  for (net::FlowId id = 0; id < n_flows; ++id) {
+    const auto a = rng.pick(hosts);
+    const auto b = rng.pick(hosts);
+    if (a == b) continue;
+    auto f = make_flow(id, a, b, rng.uniform(0.05, 2.0));
+    if (rng.bernoulli(0.25)) f.rate_limit_gbps = rng.uniform(0.1, 1.5);
+    flows.push_back(f);
+  }
+  router.route_all(flows);
+
+  net::FairShareSolver solver(t);
+  expect_matches_reference(t, flows, &mask, solver.solve(flows, &mask), 0);
+
+  // Track one failed fabric element at a time so recovery steps are exact
+  // inverses and the mask never drifts into a partitioned mess.
+  topo::LinkId downed_link = t.link_count();
+  topo::NodeId downed_switch = t.node_count();
+
+  const std::size_t steps = 25;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    switch (rng.next_below(8)) {
+      case 0: {  // single-flow demand change (sometimes to zero and back)
+        auto& f = flows[rng.next_below(static_cast<std::uint32_t>(flows.size()))];
+        f.demand_gbps = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.05, 2.5);
+        break;
+      }
+      case 1: {  // global demand drift, the engine's every-round shape
+        for (auto& f : flows) f.demand_gbps *= rng.uniform(0.8, 1.25);
+        break;
+      }
+      case 2: {  // rate-limit toggle (QCN feedback path)
+        auto& f = flows[rng.next_below(static_cast<std::uint32_t>(flows.size()))];
+        f.rate_limit_gbps = rng.bernoulli(0.5) ? rng.uniform(0.05, 1.0) : 0.0;
+        break;
+      }
+      case 3: {  // link liveness flip
+        if (downed_link == t.link_count()) {
+          downed_link = rng.next_below(static_cast<std::uint32_t>(t.link_count()));
+          mask.set_link(downed_link, false);
+        } else {
+          mask.set_link(downed_link, true);
+          downed_link = t.link_count();
+        }
+        break;
+      }
+      case 4: {  // switch liveness flip (severs every incident link)
+        if (downed_switch == t.node_count()) {
+          downed_switch = rng.pick(cores);
+          mask.set_node(downed_switch, false);
+        } else {
+          mask.set_node(downed_switch, true);
+          downed_switch = t.node_count();
+        }
+        break;
+      }
+      case 5: {  // reroute around a blocked core (FLOWREROUTE shape)
+        auto& f = flows[rng.next_below(static_cast<std::uint32_t>(flows.size()))];
+        const std::vector<topo::NodeId> blocked{rng.pick(cores)};
+        router.refresh_liveness();
+        router.route(f, blocked);
+        break;
+      }
+      case 6: {  // endpoint migration + teardown, re-routed next step
+        auto& f = flows[rng.next_below(static_cast<std::uint32_t>(flows.size()))];
+        f.src_host = rng.pick(hosts);
+        f.path.clear();
+        break;
+      }
+      default: {  // no-op round: nothing changed, nothing may move
+        break;
+      }
+    }
+    // Re-route unrouted flows like the engine does each round.
+    router.refresh_liveness();
+    for (auto& f : flows) {
+      if (!f.routed() && f.src_host != f.dst_host) router.route(f);
+    }
+    // Occasionally the flow table grows (a new dependency edge appears).
+    if (rng.bernoulli(0.1)) {
+      const auto a = rng.pick(hosts);
+      const auto b = rng.pick(hosts);
+      if (a != b) {
+        auto f = make_flow(static_cast<net::FlowId>(flows.size()), a, b,
+                           rng.uniform(0.05, 2.0));
+        router.route(f);
+        flows.push_back(f);
+      }
+    }
+    expect_matches_reference(t, flows, &mask, solver.solve(flows, &mask), step);
+  }
+
+  // The sequence must have exercised the incremental path, not degenerated
+  // into rebuild-every-step: growth steps are the only legal full rebuilds.
+  const auto& stats = solver.stats();
+  EXPECT_EQ(stats.solves, steps + 1);
+  EXPECT_LT(stats.full_rebuilds, stats.solves);
+  EXPECT_GT(stats.reused_flows, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareDifferential, ::testing::Range(0, 50));
+
+// A no-op solve must not move a single rate and must reuse every flow.
+TEST(FairShareDifferentialEdge, NoopSolveReusesEverything) {
+  const auto t = contended_fat_tree();
+  net::Router router(t);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows{make_flow(0, hosts[0], hosts[4], 1.5),
+                               make_flow(1, hosts[1], hosts[5], 0.7)};
+  router.route_all(flows);
+
+  net::FairShareSolver solver(t);
+  const auto first = solver.solve(flows);  // copy
+  const auto after_rebuild = solver.stats();
+  const auto& second = solver.solve(flows);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_EQ(first.flow_rate[f], second.flow_rate[f]);
+  }
+  // The second solve saw no edits: counters are cumulative, so the no-op
+  // must add zero affected flows and reuse the whole table.
+  EXPECT_EQ(solver.stats().full_rebuilds, 1u);
+  EXPECT_EQ(solver.stats().affected_flows, after_rebuild.affected_flows);
+  EXPECT_EQ(solver.stats().reused_flows, after_rebuild.reused_flows + flows.size());
+}
+
+// invalidate() must force the next solve to rebuild from scratch.
+TEST(FairShareDifferentialEdge, InvalidateForcesRebuild) {
+  const auto t = contended_fat_tree();
+  net::Router router(t);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows{make_flow(0, hosts[0], hosts[6], 2.0)};
+  router.route_all(flows);
+
+  net::FairShareSolver solver(t);
+  solver.solve(flows);
+  solver.invalidate();
+  solver.solve(flows);
+  EXPECT_EQ(solver.stats().full_rebuilds, 2u);
+  expect_matches_reference(t, flows, nullptr, solver.result(), 99);
+}
+
+// Liveness attach/detach transitions (nullptr ↔ mask) must be handled as
+// wholesale changes in either direction.
+TEST(FairShareDifferentialEdge, LivenessAttachDetach) {
+  const auto t = contended_fat_tree();
+  net::Router router(t);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows;
+  for (net::FlowId id = 0; id < 12; ++id) {
+    flows.push_back(make_flow(id, hosts[id % hosts.size()],
+                              hosts[(id * 5 + 3) % hosts.size()], 0.9));
+  }
+  router.route_all(flows);
+  topo::LivenessMask mask(t);
+  mask.set_node(t.nodes_of_kind(topo::NodeKind::kAggSwitch).front(), false);
+
+  net::FairShareSolver solver(t);
+  expect_matches_reference(t, flows, nullptr, solver.solve(flows, nullptr), 1);
+  expect_matches_reference(t, flows, &mask, solver.solve(flows, &mask), 2);
+  expect_matches_reference(t, flows, nullptr, solver.solve(flows, nullptr), 3);
+}

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/thread_pool.hpp"
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
 #include "fault/fault_injector.hpp"
@@ -398,6 +399,62 @@ TEST(EngineFault, TorOutageOrphansWholeRackAndRecovers) {
   EXPECT_EQ(recovered_rounds.back().failed_switches, 0u);
   EXPECT_EQ(recovered_rounds.back().unroutable_flows, 0u);
   EXPECT_EQ(engine.managing_rack(0), 0u);
+}
+
+// --- Thread-pool determinism ------------------------------------------------
+// The parallel sweeps (predictor observe, shim collect, switch queues,
+// protocol propose) write only per-index slots and draw from per-VM RNG
+// streams, so the pool size must never show in the output. 60 rounds on a
+// fabric big enough to cross every fan-out threshold (324 VMs > 256, 18
+// racks > 8), byte-compared across pool sizes 1, 2, and 8, with and
+// without a fault schedule.
+
+namespace {
+
+const topo::Topology& parallel_fat_tree() {
+  static const topo::Topology t = [] {
+    topo::FatTreeOptions options;
+    options.pods = 6;
+    options.hosts_per_rack = 6;
+    return topo::build_fat_tree(options);
+  }();
+  return t;
+}
+
+std::string run_with_pool(std::size_t pool_threads, const fault::FaultPlan* plan) {
+  sheriff::common::ThreadPool pool(pool_threads);
+  core::EngineConfig config;
+  config.parallel_collect = true;
+  config.pool = &pool;
+  config.fault_plan = plan;
+  core::DistributedEngine engine(parallel_fat_tree(), deployment_options(9), config);
+  return csv_of(engine.run(60));
+}
+
+}  // namespace
+
+TEST(EngineDeterminism, PoolSizeNeverChangesMetricsPristine) {
+  const std::string baseline = run_with_pool(1, nullptr);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(run_with_pool(2, nullptr), baseline);
+  EXPECT_EQ(run_with_pool(8, nullptr), baseline);
+}
+
+TEST(EngineDeterminism, PoolSizeNeverChangesMetricsUnderFaults) {
+  const auto& t = parallel_fat_tree();
+  fault::FaultOptions options;
+  options.seed = 23;
+  options.message_drop_probability = 0.15;
+  options.max_protocol_retries = 8;
+  auto plan = fault::FaultPlan::random_link_flaps(t, options, 6, 5, 50, 10);
+  plan.fail_switch(t.rack(3).tor, 12, 30);
+  plan.fail_host(t.rack(7).hosts[1], 20, 44);
+  plan.set_options(options);
+
+  const std::string baseline = run_with_pool(1, &plan);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(run_with_pool(2, &plan), baseline);
+  EXPECT_EQ(run_with_pool(8, &plan), baseline);
 }
 
 // --- Metrics plumbing ------------------------------------------------------

@@ -177,6 +177,22 @@ TEST(FairShare, UnsatisfiedFlowHasSaturatedLink) {
   }
 }
 
+TEST(FairShare, AvailableBandwidthRejectsOutOfRangeLink) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  std::vector<net::Flow> flows{
+      make_flow(0, t.rack(0).hosts[0], t.rack(1).hosts[0], 0.5)};
+  router.route_all(flows);
+  const auto result = net::max_min_fair_share(t, flows);
+  // In range: fine. One past the end: a hard requirement failure, not UB —
+  // this was a hot-path .at() once, and the bound must stay checked.
+  EXPECT_GE(result.available_bandwidth(t, t.link_count() - 1), 0.0);
+  EXPECT_THROW(static_cast<void>(result.available_bandwidth(t, t.link_count())),
+               sc::RequirementError);
+  EXPECT_THROW(static_cast<void>(result.available_bandwidth(t, static_cast<topo::LinkId>(-1))),
+               sc::RequirementError);
+}
+
 TEST(FlowStats, JainIndexExtremes) {
   const std::vector<double> equal{1.0, 1.0, 1.0, 1.0};
   EXPECT_NEAR(net::jain_fairness_index(equal), 1.0, 1e-12);

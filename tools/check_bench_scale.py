@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_scale.
+
+Compares a freshly produced BENCH_scale.json against the committed baseline
+(bench/baselines/BENCH_scale_baseline.json). Only the naive-vs-optimized
+*speedup ratios* are compared — both runs execute on the same machine, so
+the ratio cancels out hardware speed and transfers across CI runners, while
+absolute rounds/sec would not.
+
+A scenario passes when
+
+    current_speedup >= max(min_speedup, baseline_speedup * (1 - tolerance))
+
+where `min_speedup` is the per-scenario hard floor (3x on the k=16
+Fat-Tree, per the optimization's acceptance bar) and `tolerance` absorbs
+runner noise.
+
+Usage: check_bench_scale.py CURRENT_JSON [BASELINE_JSON]
+Exit status: 0 on pass, 1 on any violation or malformed input.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_scale: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_scale.py CURRENT_JSON [BASELINE_JSON]")
+    current_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "bench/baselines/BENCH_scale_baseline.json"
+    )
+
+    with open(current_path, encoding="utf-8") as f:
+        current = json.load(f)
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    if current.get("schema") != "sheriff.bench_scale.v1":
+        fail(f"unexpected bench schema: {current.get('schema')!r}")
+    if baseline.get("schema") != "sheriff.bench_scale.baseline.v1":
+        fail(f"unexpected baseline schema: {baseline.get('schema')!r}")
+
+    tolerance = float(baseline.get("tolerance", 0.5))
+    measured = {s["name"]: s for s in current.get("scenarios", [])}
+
+    violations = []
+    for name, ref in baseline["scenarios"].items():
+        if name not in measured:
+            violations.append(f"scenario {name!r} missing from {current_path}")
+            continue
+        got = float(measured[name]["speedup"])
+        required = max(float(ref["min_speedup"]), float(ref["speedup"]) * (1.0 - tolerance))
+        verdict = "ok" if got >= required else "REGRESSION"
+        print(
+            f"  {name}: speedup {got:.2f}x "
+            f"(baseline {ref['speedup']:.2f}x, required >= {required:.2f}x) {verdict}"
+        )
+        if got < required:
+            violations.append(
+                f"{name}: speedup {got:.2f}x below required {required:.2f}x"
+            )
+
+    for name in measured:
+        if name not in baseline["scenarios"]:
+            print(f"  {name}: speedup {measured[name]['speedup']:.2f}x (no baseline, informational)")
+
+    if violations:
+        fail("; ".join(violations))
+    print("check_bench_scale: PASS")
+
+
+if __name__ == "__main__":
+    main()

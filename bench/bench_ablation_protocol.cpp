@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "bench_support.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timing.hpp"
 #include "common/table.hpp"
 #include "core/engine.hpp"
 #include "topology/fat_tree.hpp"
@@ -34,7 +34,7 @@ ModeTotals run(const sheriff::topo::Topology& topology, sheriff::core::Migration
   core::DistributedEngine engine(topology, deploy, config);
 
   ModeTotals totals;
-  common::Stopwatch watch;
+  obs::Stopwatch watch;
   for (int r = 0; r < 16; ++r) {
     const auto m = engine.run_round();
     totals.migrations += m.migrations;

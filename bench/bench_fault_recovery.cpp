@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "bench_support.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timing.hpp"
 #include "common/table.hpp"
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
@@ -48,7 +48,7 @@ RecoveryResult run(const sheriff::topo::Topology& topology,
   core::DistributedEngine engine(topology, deploy, config);
 
   RecoveryResult result;
-  common::Stopwatch watch;
+  obs::Stopwatch watch;
   const auto metrics = engine.run(kRounds);
   result.seconds = watch.elapsed_seconds();
 

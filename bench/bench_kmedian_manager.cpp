@@ -14,7 +14,7 @@
 
 #include "bench_support.hpp"
 #include "common/rng.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timing.hpp"
 #include "common/table.hpp"
 #include "core/centralized_manager.hpp"
 #include "core/kmedian_planner.hpp"
@@ -80,7 +80,7 @@ int main() {
       options.destination_racks = 8;
       options.local_search_p = 1;
       core::KMedianMigrationManager manager(deployment, cost_model, planner, options);
-      common::Stopwatch watch;
+      obs::Stopwatch watch;
       const auto plan = manager.migrate(pool);
       table.begin_row()
           .add(pods)

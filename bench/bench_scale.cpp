@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "bench_support.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timing.hpp"
 #include "core/engine.hpp"
 #include "topology/bcube.hpp"
 #include "topology/fat_tree.hpp"
@@ -65,7 +65,7 @@ RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
   if (flows != nullptr) *flows = engine.flows().size();
 
   RunResult result;
-  common::Stopwatch watch;
+  obs::Stopwatch watch;
   engine.run(scenario.rounds);
   result.seconds = watch.elapsed_seconds();
   result.rounds_per_sec = static_cast<double>(scenario.rounds) / result.seconds;

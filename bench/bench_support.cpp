@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timing.hpp"
 #include "common/table.hpp"
 #include "migration/cost_model.hpp"
 #include "migration/request.hpp"
@@ -99,7 +99,7 @@ ManagerComparison compare_managers(const topo::Topology& topology, double alert_
     for (wl::VmId id : alerted) {
       by_rack[topology.node(deployment.vm(id).host).rack].push_back(id);
     }
-    common::Stopwatch watch;
+    obs::Stopwatch watch;
     for (topo::RackId r = 0; r < topology.rack_count(); ++r) {
       if (by_rack[r].empty()) continue;
       core::ShimController shim(r, topology, config);
@@ -119,7 +119,7 @@ ManagerComparison compare_managers(const topo::Topology& topology, double alert_
     const auto alerted = sample_alerted(deployment, alert_fraction, seed);
     mig::MigrationCostModel cost_model(topology, deployment, config.cost);
     core::CentralizedManager manager(deployment, cost_model, config);
-    common::Stopwatch watch;
+    obs::Stopwatch watch;
     const auto plan = manager.migrate(alerted);
     out.centralized_seconds = watch.elapsed_seconds();
     out.centralized_cost = plan.total_cost;

@@ -1,34 +1,16 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <cstdlib>
 #include <optional>
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/timing.hpp"
 
 namespace sheriff::core {
 
-namespace {
-/// Accumulates the wall time between construction and destruction into a
-/// PhaseProfile counter (two steady_clock reads per phase).
-class PhaseTimer {
- public:
-  explicit PhaseTimer(std::uint64_t& sink)
-      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
-  ~PhaseTimer() {
-    *sink_ += static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                             std::chrono::steady_clock::now() - start_)
-                                             .count());
-  }
-  PhaseTimer(const PhaseTimer&) = delete;
-  PhaseTimer& operator=(const PhaseTimer&) = delete;
-
- private:
-  std::uint64_t* sink_;
-  std::chrono::steady_clock::time_point start_;
-};
-}  // namespace
+using PhaseTimer = obs::ScopedTimer;
 
 DistributedEngine::DistributedEngine(const topo::Topology& topo,
                                      const wl::DeploymentOptions& deployment_options,
@@ -43,9 +25,26 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
       cost_model_(topo, deployment_, config.sheriff.cost) {
   router_.set_cache_enabled(config_.route_cache);
   cost_model_.set_tree_cache_retained(config_.retain_cost_trees);
+  // SHERIFF_FORCE_AUDIT=1 (the CI sanitizer job sets it) turns the
+  // invariant auditor on in fail-fast mode for every engine, so the whole
+  // tier-1 suite hard-fails on any conservation-law breach.
+  if (const char* force = std::getenv("SHERIFF_FORCE_AUDIT");
+      force != nullptr && force[0] == '1') {
+    config_.audit = true;
+    config_.audit_fail_fast = true;
+  }
+  if (config_.observe || config_.audit) {
+    obs::ObservationConfig observation;
+    observation.trace_capacity_per_shim = config_.trace_capacity_per_shim;
+    observation.audit = config_.audit;
+    observation.audit_options.fail_fast = config_.audit_fail_fast;
+    observation.audit_options.deep_fair_share = config_.deep_fair_share_audit;
+    hub_ = std::make_unique<obs::ObservationHub>(topo.rack_count(), observation);
+  }
   shims_.reserve(topo.rack_count());
   for (topo::RackId r = 0; r < topo.rack_count(); ++r) {
     shims_.emplace_back(r, topo, config.sheriff);
+    if (hub_ != nullptr) shims_.back().set_trace(&hub_->trace());
   }
   predictors_.reserve(deployment_.vm_count());
   for (std::size_t i = 0; i < deployment_.vm_count(); ++i) {
@@ -56,6 +55,7 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
   tor_queue_predictors_.resize(topo.rack_count());
   if (config_.fault_plan != nullptr) {
     injector_ = std::make_unique<fault::FaultInjector>(topo, *config_.fault_plan);
+    if (hub_ != nullptr) injector_->set_trace(&hub_->trace());
     const fault::FaultOptions& fault_options = config_.fault_plan->options();
     if (fault_options.message_drop_probability > 0.0) {
       channel_ = std::make_unique<fault::LossyChannel>(fault_options.message_drop_probability,
@@ -92,6 +92,10 @@ void DistributedEngine::recompute_takeovers() {
         takeover_[r] = n;
         break;
       }
+    }
+    if (hub_ != nullptr) {
+      hub_->trace().emit(obs::EventTrace::kEngine, obs::EventType::kShimTakeover, r,
+                         takeover_[r]);
     }
   }
 }
@@ -202,6 +206,7 @@ std::vector<wl::VmId> DistributedEngine::alerted_vms() const {
 RoundMetrics DistributedEngine::run_round() {
   RoundMetrics metrics;
   metrics.round = round_++;
+  if (hub_ != nullptr) hub_->trace().set_round(static_cast<std::uint32_t>(metrics.round));
 
   // 0. Fault schedule: apply this round's due events, propagate the new
   //    liveness to the router, and tear down routes over dead elements.
@@ -253,6 +258,19 @@ RoundMetrics DistributedEngine::run_round() {
     }
   }
   const net::FairShareResult& shares = *shares_ptr;
+  // Network-state invariants are checked here, while flows' paths and rate
+  // limits are exactly what the allocation saw: the QCN update below moves
+  // rate limits, and management reroutes change paths mid-round.
+  if (hub_ != nullptr && hub_->auditor() != nullptr) {
+    obs::InvariantAuditor::RoundInputs inputs;
+    inputs.round = static_cast<std::uint32_t>(metrics.round);
+    inputs.deployment = &deployment_;
+    inputs.flows = flows_;
+    inputs.shares = shares_ptr;
+    inputs.solver = config_.incremental_fair_share ? &solver_ : nullptr;
+    inputs.liveness = liveness;
+    hub_->auditor()->audit_network(inputs);
+  }
   std::vector<topo::NodeId> congested;
   {
     PhaseTimer timer(profile_.queue_ns);
@@ -359,9 +377,24 @@ RoundMetrics DistributedEngine::run_round() {
     }
   }
 
+  // Committed moves become MigrationCompleted trace events, and (with the
+  // auditor on) the round's move list for the management-side checks.
+  std::vector<obs::AuditedMove> audited_moves;
+  const auto observe_plan = [&](const MigrationPlan& plan) {
+    if (hub_ == nullptr) return;
+    for (const MigrationMove& move : plan.moves) {
+      hub_->trace().emit(obs::EventTrace::kEngine, obs::EventType::kMigrationCompleted,
+                         move.vm, move.to, move.cost);
+      if (hub_->auditor() != nullptr) {
+        audited_moves.push_back({move.vm, move.from, move.to, move.cost,
+                                 move.duration_seconds, move.downtime_seconds});
+      }
+    }
+  };
+
   cost_model_.set_bandwidth_state(&shares);
   if (config_.mode == ManagerMode::kSheriff) {
-    const auto account_plan = [&metrics](const MigrationPlan& plan) {
+    const auto account_plan = [&](const MigrationPlan& plan) {
       metrics.migrations += plan.moves.size();
       metrics.migration_requests += plan.requests;
       metrics.migration_rejects += plan.rejects;
@@ -369,6 +402,7 @@ RoundMetrics DistributedEngine::run_round() {
       metrics.search_space += plan.search_space;
       metrics.migration_seconds += plan.total_duration_seconds;
       metrics.migration_downtime_seconds += plan.total_downtime_seconds;
+      observe_plan(plan);
     };
     if (config_.protocol == MigrationProtocol::kMessagePassing) {
       // Alert dispatch + FLOWREROUTE per shim (serial: reroutes touch the
@@ -401,7 +435,8 @@ RoundMetrics DistributedEngine::run_round() {
           deployment_, cost_model_, config_.sheriff,
           config_.parallel_collect ? &worker_pool() : nullptr, channel_.get(),
           config_.fault_plan != nullptr ? config_.fault_plan->options().max_protocol_retries
-                                        : 0);
+                                        : 0,
+          hub_ != nullptr ? &hub_->trace() : nullptr);
       const auto outcome = protocol.run(std::move(demands));
       account_plan(outcome.plan);
       count_recoveries(outcome.plan);
@@ -480,6 +515,7 @@ RoundMetrics DistributedEngine::run_round() {
     if (injector_ != nullptr) manager.set_liveness(&injector_->liveness());
     const auto plan = manager.migrate(std::move(global_set));
     count_recoveries(plan);
+    observe_plan(plan);
     metrics.migrations += plan.moves.size();
     metrics.migration_requests += plan.requests;
     metrics.migration_rejects += plan.rejects;
@@ -492,8 +528,47 @@ RoundMetrics DistributedEngine::run_round() {
   manage_timer.reset();
 
   metrics.workload_stddev_after = deployment_.workload_stddev();
+  if (hub_ != nullptr) publish_round(metrics, audited_moves);
   ++profile_.rounds;
   return metrics;
+}
+
+void DistributedEngine::publish_round(const RoundMetrics& metrics,
+                                      std::span<const obs::AuditedMove> moves) {
+  obs::MetricRegistry& registry = hub_->registry();
+  registry.gauge("engine.rounds").set(static_cast<double>(round_));
+  registry.counter("engine.migrations").add(metrics.migrations);
+  registry.counter("engine.reroutes").add(metrics.reroutes);
+  registry.counter("engine.host_alerts").add(metrics.host_alerts);
+  registry.counter("engine.tor_alerts").add(metrics.tor_alerts);
+  registry.counter("engine.switch_alerts").add(metrics.switch_alerts);
+  registry.counter("engine.migration_requests").add(metrics.migration_requests);
+  registry.counter("engine.migration_rejects").add(metrics.migration_rejects);
+  registry.counter("engine.protocol_drops").add(metrics.protocol_drops);
+  registry.counter("engine.protocol_retries").add(metrics.protocol_retries);
+  registry.counter("engine.recovery_migrations").add(metrics.recovery_migrations);
+  registry.gauge("engine.workload_stddev").set(metrics.workload_stddev_after);
+  registry.gauge("engine.max_link_utilization").set(metrics.max_link_utilization);
+  registry.gauge("engine.flow_satisfaction").set(metrics.flow_satisfaction);
+  registry.gauge("engine.flow_fairness").set(metrics.flow_fairness);
+  registry
+      .histogram("engine.round_migration_cost", {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0})
+      .observe(metrics.migration_cost);
+  registry.gauge("trace.emitted").set(static_cast<double>(hub_->trace().total_emitted()));
+  registry.gauge("trace.dropped").set(static_cast<double>(hub_->trace().total_dropped()));
+  if (config_.incremental_fair_share) solver_.publish_metrics(registry);
+  router_.publish_metrics(registry);
+  queues_.publish_metrics(registry);
+  if (injector_ != nullptr) injector_->publish_metrics(registry);
+  for (const ShimController& shim : shims_) shim.publish_metrics(registry);
+
+  if (hub_->auditor() != nullptr) {
+    obs::InvariantAuditor::RoundInputs inputs;
+    inputs.round = static_cast<std::uint32_t>(metrics.round);
+    inputs.deployment = &deployment_;
+    inputs.moves = moves;
+    hub_->auditor()->audit_management(inputs);
+  }
 }
 
 std::vector<RoundMetrics> DistributedEngine::run(std::size_t rounds) {

@@ -36,6 +36,7 @@
 #include "net/rate_control.hpp"
 #include "net/reroute.hpp"
 #include "net/routing.hpp"
+#include "obs/hub.hpp"
 #include "topology/topology.hpp"
 #include "workload/deployment.hpp"
 
@@ -85,6 +86,14 @@ struct EngineConfig {
   /// protocol messaging). Must outlive the engine. An empty plan (or
   /// nullptr) reproduces the pristine-fabric run bit for bit.
   const fault::FaultPlan* fault_plan = nullptr;
+  // --- observability (src/obs/): all off by default. With everything off
+  //     the engine owns no ObservationHub and the per-round hot path takes
+  //     a handful of null checks — bench_scale bounds the overhead at 3%.
+  bool observe = false;  ///< own an ObservationHub (event trace + metric registry)
+  bool audit = false;    ///< run the InvariantAuditor each round (implies observe)
+  bool audit_fail_fast = false;       ///< first violation throws RequirementError
+  bool deep_fair_share_audit = false; ///< auditor re-solves from scratch (tests only)
+  std::size_t trace_capacity_per_shim = 4096;
 };
 
 struct RoundMetrics {
@@ -159,6 +168,13 @@ class DistributedEngine {
   /// benches that want to hand the same alerts to both manager modes).
   [[nodiscard]] std::vector<wl::VmId> alerted_vms() const;
 
+  /// The observation hub, or nullptr when observability is off
+  /// (EngineConfig::observe/audit both false and SHERIFF_FORCE_AUDIT unset).
+  [[nodiscard]] obs::ObservationHub* observation_hub() noexcept { return hub_.get(); }
+  [[nodiscard]] const obs::ObservationHub* observation_hub() const noexcept {
+    return hub_.get();
+  }
+
   /// The fault injector driving this run, or nullptr on a pristine fabric.
   [[nodiscard]] const fault::FaultInjector* fault_injector() const noexcept {
     return injector_.get();
@@ -176,6 +192,9 @@ class DistributedEngine {
   [[nodiscard]] std::unique_ptr<ProfilePredictor> make_predictor() const;
   void apply_fault_events(RoundMetrics& metrics);
   void recompute_takeovers();
+  /// Round-boundary observability: publishes subsystem metrics into the
+  /// hub's registry and runs the management-side audit. hub_ must be set.
+  void publish_round(const RoundMetrics& metrics, std::span<const obs::AuditedMove> moves);
   /// True when the host is up and has at least one usable link.
   [[nodiscard]] bool host_attached(topo::NodeId host) const;
   /// VMs stranded on dead or cut-off hosts, grouped for recovery.
@@ -201,6 +220,7 @@ class DistributedEngine {
   std::vector<HoltScalar> tor_queue_predictors_;               ///< by RackId
   std::unique_ptr<fault::FaultInjector> injector_;  ///< null = pristine fabric
   std::unique_ptr<fault::LossyChannel> channel_;    ///< null = reliable messaging
+  std::unique_ptr<obs::ObservationHub> hub_;        ///< null = observability off
   std::vector<topo::RackId> takeover_;              ///< managing rack per rack
   std::size_t round_ = 0;
   PhaseProfile profile_;

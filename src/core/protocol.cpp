@@ -35,13 +35,15 @@ constexpr std::size_t kBackoffCap = 3;
 
 DistributedMigrationProtocol::DistributedMigrationProtocol(
     wl::Deployment& deployment, mig::MigrationCostModel& cost_model, SheriffConfig config,
-    common::ThreadPool* pool, fault::LossyChannel* channel, std::size_t loss_retry_budget)
+    common::ThreadPool* pool, fault::LossyChannel* channel, std::size_t loss_retry_budget,
+    obs::EventTrace* trace)
     : deployment_(&deployment),
       cost_model_(&cost_model),
       config_(config),
       pool_(pool),
       channel_(channel != nullptr && !channel->lossless() ? channel : nullptr),
-      loss_retry_budget_(loss_retry_budget) {}
+      loss_retry_budget_(loss_retry_budget),
+      trace_(trace) {}
 
 ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> demands) {
   ProtocolResult result;
@@ -111,11 +113,22 @@ ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> de
         if (channel_ != nullptr && !channel_->deliver()) {
           register_loss(p.vm);  // REQUEST lost: never reaches the delegate
           ++losses_this_iteration;
+          if (trace_ != nullptr) {
+            trace_->emit(demands[i].shim, obs::EventType::kProtocolMsgDropped, p.vm);
+          }
           continue;
         }
         if (retry_pending[p.vm]) {
           ++result.retries;
           retry_pending[p.vm] = false;
+          if (trace_ != nullptr) {
+            trace_->emit(demands[i].shim, obs::EventType::kProtocolMsgRetried, p.vm);
+          }
+        }
+        if (trace_ != nullptr) {
+          trace_->emit(demands[i].shim, obs::EventType::kProtocolMsgSent, p.vm, p.dest);
+          trace_->emit(demands[i].shim, obs::EventType::kMigrationPlanned, p.vm, p.dest,
+                       p.cost);
         }
         mailbox[topo.node(p.dest).rack].push_back(
             {demands[i].shim, p.vm, p.dest, p.cost});
@@ -183,7 +196,16 @@ ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> de
         if (channel_ != nullptr && !channel_->deliver()) {
           register_loss(rq.vm);
           ++losses_this_iteration;
+          if (trace_ != nullptr) {
+            trace_->emit(static_cast<std::uint32_t>(rack),
+                         obs::EventType::kProtocolMsgDropped, rq.vm);
+          }
           continue;
+        }
+        if (trace_ != nullptr) {
+          // The ACK that reached the proposer (delegate rack -> proposer).
+          trace_->emit(static_cast<std::uint32_t>(rack), obs::EventType::kProtocolMsgSent,
+                       rq.vm, rq.dest);
         }
         // A same-round race (e.g. a dependency partner ACKed onto the same
         // host by another delegate) can invalidate the reservation: the

@@ -34,6 +34,7 @@
 #include "core/vm_migration.hpp"
 #include "fault/lossy_channel.hpp"
 #include "migration/cost_model.hpp"
+#include "obs/trace.hpp"
 #include "workload/deployment.hpp"
 
 namespace sheriff::common {
@@ -63,11 +64,17 @@ class DistributedMigrationProtocol {
   /// `channel` may be null (reliable messaging); when set it must outlive
   /// the protocol, and `loss_retry_budget` extra iterations are granted to
   /// wait out losses.
+  /// `trace` may be null; when set, every REQUEST/ACK delivery, loss, and
+  /// re-proposal becomes a trace event. Emission happens only in the
+  /// serial DELIVER/APPLY phases — the parallel PROPOSE/DECIDE sweeps can
+  /// have two demands owned by one shim (a takeover), so they must not
+  /// write shim rings.
   DistributedMigrationProtocol(wl::Deployment& deployment,
                                mig::MigrationCostModel& cost_model, SheriffConfig config,
                                common::ThreadPool* pool = nullptr,
                                fault::LossyChannel* channel = nullptr,
-                               std::size_t loss_retry_budget = 0);
+                               std::size_t loss_retry_budget = 0,
+                               obs::EventTrace* trace = nullptr);
 
   ProtocolResult run(std::vector<MigrationDemand> demands);
 
@@ -78,6 +85,7 @@ class DistributedMigrationProtocol {
   common::ThreadPool* pool_;
   fault::LossyChannel* channel_;
   std::size_t loss_retry_budget_;
+  obs::EventTrace* trace_;
 };
 
 }  // namespace sheriff::core

@@ -115,6 +115,14 @@ ShimCollectResult ShimController::collect(const wl::Deployment& deployment,
     if (sw == rack.tor) continue;
     out.alerts.push_back({AlertSource::kOuterSwitch, rack_, sw, 1.0});
   }
+
+  if (trace_ != nullptr) {
+    for (const Alert& alert : out.alerts) {
+      trace_->emit(rack_, obs::EventType::kAlertRaised, alert.node,
+                   static_cast<std::uint32_t>(alert.source), alert.value);
+    }
+  }
+  pending_alerts_ += out.alerts.size();
   return out;
 }
 
@@ -163,6 +171,11 @@ ShimSelection ShimController::select(const ShimCollectResult& collected,
               rerouter.reroute_around(flows, alert.node, config_.reroute_fraction);
           result.reroutes.candidates += report.candidates;
           result.reroutes.rerouted += report.rerouted;
+          if (trace_ != nullptr && report.rerouted > 0) {
+            trace_->emit(rack_, obs::EventType::kRerouteChosen, alert.node, 0,
+                         static_cast<double>(report.rerouted));
+          }
+          pending_reroutes_ += report.rerouted;
         } else {
           migration_set.insert(migration_set.end(), picked.selected.begin(),
                                picked.selected.end());
@@ -211,6 +224,13 @@ ShimSelection ShimController::select(const ShimCollectResult& collected,
   }
 
   return result;
+}
+
+void ShimController::publish_metrics(obs::MetricRegistry& registry) const {
+  registry.counter("shim.alerts_raised").add(pending_alerts_);
+  registry.counter("shim.reroutes_chosen").add(pending_reroutes_);
+  pending_alerts_ = 0;
+  pending_reroutes_ = 0;
 }
 
 std::vector<topo::NodeId> ShimController::migration_targets(

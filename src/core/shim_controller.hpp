@@ -22,6 +22,8 @@
 #include "core/vm_migration.hpp"
 #include "net/queueing.hpp"
 #include "net/reroute.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 #include "workload/deployment.hpp"
@@ -65,6 +67,16 @@ class ShimController {
   /// hosts raise no alerts and are never offered as migration receivers.
   /// The mask must outlive the controller.
   void set_liveness(const topo::LivenessMask* liveness) { liveness_ = liveness; }
+
+  /// Attaches the event trace (nullptr detaches). Emission is safe from
+  /// the parallel collect sweep: this shim only ever writes its own ring.
+  /// The trace must outlive the controller.
+  void set_trace(obs::EventTrace* trace) noexcept { trace_ = trace; }
+
+  /// Adds the alerts/reroutes recorded since the last call to the shared
+  /// `shim.*` counters and resets the pending tallies. Called serially by
+  /// the engine at the round boundary.
+  void publish_metrics(obs::MetricRegistry& registry) const;
 
   /// Destination hosts of the shim's dominating region: the rack's own
   /// hosts plus every host in a one-hop neighbor rack.
@@ -132,6 +144,11 @@ class ShimController {
   const topo::Topology* topo_;
   const topo::LivenessMask* liveness_ = nullptr;
   SheriffConfig config_;
+  obs::EventTrace* trace_ = nullptr;
+  // Round tallies for publish_metrics. Mutable because collect()/select()
+  // are logically const; safe because at most one thread works on a shim.
+  mutable std::size_t pending_alerts_ = 0;
+  mutable std::size_t pending_reroutes_ = 0;
 };
 
 }  // namespace sheriff::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace sheriff::fault {
 
@@ -39,7 +41,22 @@ InjectionReport FaultInjector::advance(std::size_t round) {
   for (const FaultEvent& event : plan_->due(round)) {
     apply(event, report);
   }
+  events_applied_ += report.applied.size();
+  if (trace_ != nullptr) {
+    for (const FaultEvent& event : report.applied) {
+      trace_->emit(obs::EventTrace::kEngine, obs::EventType::kFaultInjected,
+                   static_cast<std::uint32_t>(event.kind), event.target);
+    }
+  }
   return report;
+}
+
+void FaultInjector::publish_metrics(obs::MetricRegistry& registry) const {
+  registry.gauge("fault.events_applied").set(static_cast<double>(events_applied_));
+  registry.gauge("fault.failed_links").set(static_cast<double>(failed_link_count()));
+  registry.gauge("fault.failed_switches").set(static_cast<double>(failed_switches_));
+  registry.gauge("fault.failed_hosts").set(static_cast<double>(failed_hosts_.size()));
+  registry.gauge("fault.failed_shims").set(static_cast<double>(failed_shim_count()));
 }
 
 void FaultInjector::apply(const FaultEvent& event, InjectionReport& report) {

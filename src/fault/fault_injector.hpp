@@ -19,6 +19,11 @@
 #include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
+namespace sheriff::obs {
+class EventTrace;
+class MetricRegistry;
+}  // namespace sheriff::obs
+
 namespace sheriff::fault {
 
 /// What one round's events did (drives the engine's recompute decisions).
@@ -35,6 +40,14 @@ class FaultInjector {
 
   /// Applies every event scheduled at `round`.
   InjectionReport advance(std::size_t round);
+
+  /// Attaches the event trace (nullptr detaches): every *applied* fault
+  /// event — no-op events are filtered — is emitted as kFaultInjected with
+  /// a = FaultKind, b = target. The trace must outlive the injector.
+  void set_trace(obs::EventTrace* trace) noexcept { trace_ = trace; }
+
+  /// Publishes the current failure tallies as `fault.*` gauges.
+  void publish_metrics(obs::MetricRegistry& registry) const;
 
   [[nodiscard]] const topo::LivenessMask& liveness() const noexcept { return liveness_; }
   /// A shim is down when explicitly crashed or when its ToR is dead.
@@ -61,6 +74,8 @@ class FaultInjector {
   std::vector<bool> shim_crashed_;  ///< explicit kShimDown, per rack
   std::vector<topo::NodeId> failed_hosts_;
   std::size_t failed_switches_ = 0;
+  std::size_t events_applied_ = 0;
+  obs::EventTrace* trace_ = nullptr;
 };
 
 }  // namespace sheriff::fault

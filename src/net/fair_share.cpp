@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/require.hpp"
+#include "obs/registry.hpp"
 
 namespace sheriff::net {
 
@@ -351,6 +352,14 @@ void FairShareSolver::refill(std::span<Flow> flows) {
   for (topo::LinkId l : touched_links_) {
     result_.link_utilization[l] = result_.link_load_gbps[l] / topo_->link(l).capacity_gbps;
   }
+}
+
+void FairShareSolver::publish_metrics(obs::MetricRegistry& registry) const {
+  registry.gauge("fair_share.solves").set(static_cast<double>(stats_.solves));
+  registry.gauge("fair_share.full_rebuilds").set(static_cast<double>(stats_.full_rebuilds));
+  registry.gauge("fair_share.dirty_flows").set(static_cast<double>(stats_.dirty_flows));
+  registry.gauge("fair_share.affected_flows").set(static_cast<double>(stats_.affected_flows));
+  registry.gauge("fair_share.reused_flows").set(static_cast<double>(stats_.reused_flows));
 }
 
 }  // namespace sheriff::net

@@ -25,6 +25,10 @@
 #include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
+namespace sheriff::obs {
+class MetricRegistry;
+}
+
 namespace sheriff::net {
 
 struct FairShareResult {
@@ -76,6 +80,9 @@ class FairShareSolver {
 
   [[nodiscard]] const FairShareResult& result() const noexcept { return result_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Publishes the cumulative Stats as `fair_share.*` gauges.
+  void publish_metrics(obs::MetricRegistry& registry) const;
 
   /// Drops all cached state; the next solve() rebuilds from scratch.
   void invalidate();

@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/registry.hpp"
 
 namespace sheriff::net {
 
@@ -97,6 +98,25 @@ std::vector<topo::NodeId> SwitchQueues::congested_switches() const {
     }
   }
   return out;
+}
+
+void SwitchQueues::publish_metrics(obs::MetricRegistry& registry) const {
+  double max_queue = 0.0;
+  double total_queue = 0.0;
+  std::size_t congested = 0;
+  obs::Histogram& depth =
+      registry.histogram("queueing.queue_depth", {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  for (topo::NodeId id = 0; id < topo_->node_count(); ++id) {
+    if (!topo::is_switch(topo_->node(id).kind)) continue;
+    const double q = queue_[id];
+    depth.observe(q);
+    max_queue = std::max(max_queue, q);
+    total_queue += q;
+    if (q > 0.0 && feedback(id) < config_.congestion_feedback) ++congested;
+  }
+  registry.gauge("queueing.max_queue").set(max_queue);
+  registry.gauge("queueing.total_queue").set(total_queue);
+  registry.gauge("queueing.congested_switches").set(static_cast<double>(congested));
 }
 
 }  // namespace sheriff::net

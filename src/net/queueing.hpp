@@ -49,6 +49,10 @@ class SwitchQueues {
   [[nodiscard]] std::vector<topo::NodeId> congested_switches() const;
   [[nodiscard]] const QcnConfig& config() const noexcept { return config_; }
 
+  /// Publishes the current backlog state as `queueing.*` gauges and feeds
+  /// every switch's queue length into a fixed-bucket depth histogram.
+  void publish_metrics(obs::MetricRegistry& registry) const;
+
  private:
   const topo::Topology* topo_;
   const topo::LivenessMask* liveness_ = nullptr;

@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/registry.hpp"
 
 namespace sheriff::net {
 
@@ -228,6 +229,14 @@ std::size_t Router::shortest_path_count(topo::NodeId src, topo::NodeId dst) cons
   if (cache_enabled_) return tree_for(src, {}).path_count(dst);
   const auto tree = graph::dijkstra(hop_graph_, src);
   return tree.path_count(dst);
+}
+
+void Router::publish_metrics(obs::MetricRegistry& registry) const {
+  registry.gauge("router.tree_hits").set(static_cast<double>(cache_stats_.tree_hits));
+  registry.gauge("router.tree_misses").set(static_cast<double>(cache_stats_.tree_misses));
+  registry.gauge("router.path_hits").set(static_cast<double>(cache_stats_.path_hits));
+  registry.gauge("router.path_misses").set(static_cast<double>(cache_stats_.path_misses));
+  registry.gauge("router.evictions").set(static_cast<double>(cache_stats_.evictions));
 }
 
 }  // namespace sheriff::net

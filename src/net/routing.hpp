@@ -32,6 +32,10 @@
 #include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
+namespace sheriff::obs {
+class MetricRegistry;
+}
+
 namespace sheriff::net {
 
 struct RouterCacheStats {
@@ -76,6 +80,9 @@ class Router {
   void set_cache_enabled(bool enabled);
   [[nodiscard]] bool cache_enabled() const noexcept { return cache_enabled_; }
   [[nodiscard]] const RouterCacheStats& cache_stats() const noexcept { return cache_stats_; }
+
+  /// Publishes the cumulative cache stats as `router.*` gauges.
+  void publish_metrics(obs::MetricRegistry& registry) const;
 
  private:
   void rebuild();

@@ -1,0 +1,120 @@
+#include "obs/export.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/require.hpp"
+
+namespace sheriff::obs {
+namespace {
+
+/// Shortest decimal form that parses back to the same double (%.17g is
+/// exact for IEEE 754 binary64).
+std::string format_double(double v) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.17g", v);
+  return std::string(buf.data());
+}
+
+/// Extracts the value after `"key":` in `line`; the writer emits no
+/// whitespace and no string payloads, so scanning to the next ',' or '}'
+/// is sufficient.
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  SHERIFF_REQUIRE(at != std::string::npos, "trace JSONL line is missing field '" + key + "'");
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(begin, end - begin);
+}
+
+EventType parse_event_type(const std::string& name) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    const auto type = static_cast<EventType>(i);
+    if (name == to_string(type)) return type;
+  }
+  SHERIFF_REQUIRE(false, "unknown trace event type '" + name + "'");
+  return EventType::kAlertRaised;  // unreachable
+}
+
+}  // namespace
+
+void write_trace_jsonl(std::span<const TraceRecord> records, std::ostream& os) {
+  for (const TraceRecord& r : records) {
+    os << "{\"seq\":" << r.seq << ",\"round\":" << r.round << ",\"shim\":" << r.shim
+       << ",\"type\":\"" << to_string(r.type) << "\",\"a\":" << r.a << ",\"b\":" << r.b
+       << ",\"value\":" << format_double(r.value) << "}\n";
+  }
+}
+
+std::vector<TraceRecord> read_trace_jsonl(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TraceRecord r;
+    r.seq = std::strtoull(field(line, "seq").c_str(), nullptr, 10);
+    r.round = static_cast<std::uint32_t>(std::strtoul(field(line, "round").c_str(), nullptr, 10));
+    r.shim = static_cast<std::uint32_t>(std::strtoul(field(line, "shim").c_str(), nullptr, 10));
+    std::string type = field(line, "type");
+    SHERIFF_REQUIRE(type.size() >= 2 && type.front() == '"' && type.back() == '"',
+                    "trace JSONL type field is not a string");
+    r.type = parse_event_type(type.substr(1, type.size() - 2));
+    r.a = static_cast<std::uint32_t>(std::strtoul(field(line, "a").c_str(), nullptr, 10));
+    r.b = static_cast<std::uint32_t>(std::strtoul(field(line, "b").c_str(), nullptr, 10));
+    r.value = std::strtod(field(line, "value").c_str(), nullptr);
+    out.push_back(r);
+  }
+  return out;
+}
+
+common::Table summarize_trace(std::span<const TraceRecord> records) {
+  std::vector<std::string> headers{"round"};
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    headers.emplace_back(to_string(static_cast<EventType>(i)));
+  }
+  headers.emplace_back("total");
+  common::Table table(std::move(headers));
+
+  // round -> per-type counts (map keeps rounds sorted).
+  std::map<std::uint32_t, std::array<std::size_t, kEventTypeCount>> by_round;
+  for (const TraceRecord& r : records) {
+    auto& row = by_round.try_emplace(r.round).first->second;
+    ++row[static_cast<std::size_t>(r.type)];
+  }
+
+  std::array<std::size_t, kEventTypeCount> totals{};
+  for (const auto& [round, counts] : by_round) {
+    table.begin_row().add(static_cast<std::size_t>(round));
+    std::size_t row_total = 0;
+    for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+      table.add(counts[i]);
+      row_total += counts[i];
+      totals[i] += counts[i];
+    }
+    table.add(row_total);
+  }
+  table.begin_row().add("all");
+  std::size_t grand_total = 0;
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    table.add(totals[i]);
+    grand_total += totals[i];
+  }
+  table.add(grand_total);
+  return table;
+}
+
+common::Table metrics_table(const MetricRegistry& registry) {
+  common::Table table({"metric", "value"});
+  for (const auto& [name, value] : registry.snapshot()) {
+    table.begin_row().add(name).add(format_double(value));
+  }
+  return table;
+}
+
+}  // namespace sheriff::obs

@@ -1,0 +1,34 @@
+#pragma once
+// Trace and metric exporters: JSON Lines for machine consumption (one
+// TraceRecord per line, doubles round-trip exact), a CSV-able summary
+// table (events per type per round), and a metric-registry dump. The JSONL
+// reader is the inverse of the writer — it parses exactly what
+// write_trace_jsonl emits, which is all the round-trip tests need.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace sheriff::obs {
+
+/// One record per line:
+/// {"seq":0,"round":1,"shim":2,"type":"AlertRaised","a":3,"b":0,"value":0.5}
+void write_trace_jsonl(std::span<const TraceRecord> records, std::ostream& os);
+
+/// Parses lines produced by write_trace_jsonl. Throws
+/// common::RequirementError on a malformed line or an unknown type name.
+std::vector<TraceRecord> read_trace_jsonl(std::istream& is);
+
+/// Per-round event-type counts: one row per round that has events, one
+/// column per EventType, plus a totals row. print_csv() gives the CSV form.
+common::Table summarize_trace(std::span<const TraceRecord> records);
+
+/// Name-sorted `metric,value` dump of a registry snapshot.
+common::Table metrics_table(const MetricRegistry& registry);
+
+}  // namespace sheriff::obs

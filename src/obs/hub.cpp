@@ -1,0 +1,13 @@
+#include "obs/hub.hpp"
+
+namespace sheriff::obs {
+
+ObservationHub::ObservationHub(std::size_t shim_count, ObservationConfig config)
+    : trace_(shim_count, config.trace_capacity_per_shim) {
+  if (config.audit) {
+    auditor_ = std::make_unique<InvariantAuditor>(config.audit_options);
+    auditor_->attach(&trace_, &registry_);
+  }
+}
+
+}  // namespace sheriff::obs

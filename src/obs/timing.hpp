@@ -1,0 +1,68 @@
+#pragma once
+// The one scoped-timer/stopwatch utility of the codebase. Everything that
+// measures wall time — bench phase timing, the engine's PhaseProfile, the
+// trace explorer — goes through these two classes so there is exactly one
+// clock-reading idiom to audit (monotonic steady_clock, two reads per
+// measurement, no hidden allocation).
+
+#include <chrono>
+#include <cstdint>
+
+namespace sheriff::obs {
+
+/// Monotonic stopwatch with restart and lap semantics.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()), lap_(start_) {}
+
+  /// Re-zeroes both the total and the lap mark.
+  void restart() noexcept { start_ = lap_ = clock::now(); }
+  /// Alias kept for call sites written against the old common::Stopwatch.
+  void reset() noexcept { restart(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_millis() const noexcept { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_).count());
+  }
+
+  /// Seconds since the previous lap() (or construction/restart), advancing
+  /// the lap mark — split times without touching the running total.
+  double lap_seconds() noexcept {
+    const auto now = clock::now();
+    const double split = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return split;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+  clock::time_point lap_;
+};
+
+/// Accumulates the wall time between construction and destruction into a
+/// nanosecond counter (two steady_clock reads per scope). The sink must
+/// outlive the timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::uint64_t& sink) noexcept
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    *sink_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             start_)
+            .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::uint64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sheriff::obs

@@ -1,0 +1,21 @@
+#include "obs/trace.hpp"
+
+namespace sheriff::obs {
+
+const char* to_string(EventType type) noexcept {
+  switch (type) {
+    case EventType::kAlertRaised: return "AlertRaised";
+    case EventType::kRerouteChosen: return "RerouteChosen";
+    case EventType::kMigrationPlanned: return "MigrationPlanned";
+    case EventType::kMigrationCompleted: return "MigrationCompleted";
+    case EventType::kProtocolMsgSent: return "ProtocolMsgSent";
+    case EventType::kProtocolMsgDropped: return "ProtocolMsgDropped";
+    case EventType::kProtocolMsgRetried: return "ProtocolMsgRetried";
+    case EventType::kFaultInjected: return "FaultInjected";
+    case EventType::kShimTakeover: return "ShimTakeover";
+    case EventType::kInvariantViolation: return "InvariantViolation";
+  }
+  return "Unknown";
+}
+
+}  // namespace sheriff::obs

@@ -15,7 +15,6 @@
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "common/stopwatch.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 
@@ -252,11 +251,4 @@ TEST(ThreadPool, SubmitReturnsValue) {
   sc::ThreadPool pool(2);
   auto fut = pool.submit([] { return 41 + 1; });
   EXPECT_EQ(fut.get(), 42);
-}
-
-TEST(Stopwatch, MeasuresNonNegative) {
-  sc::Stopwatch sw;
-  EXPECT_GE(sw.elapsed_seconds(), 0.0);
-  sw.reset();
-  EXPECT_GE(sw.elapsed_millis(), 0.0);
 }

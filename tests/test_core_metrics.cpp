@@ -154,3 +154,52 @@ TEST(EngineQcn, RateControlReducesCongestedRounds) {
   EXPECT_EQ(limited_off, 0u);
   EXPECT_LT(congested_on, congested_off);
 }
+
+// Golden-file lockdown of the CSV schema (S3 of the observability sweep):
+// downstream notebooks parse this byte for byte, so the header and the cell
+// formatting (fixed precisions per column) are pinned exactly. All doubles
+// in the golden row are dyadic rationals, so std::fixed formatting is
+// deterministic across platforms.
+TEST(Metrics, CsvGoldenRow) {
+  core::RoundMetrics m;
+  m.round = 3;
+  m.workload_stddev_before = 1.25;
+  m.workload_stddev_after = 0.75;
+  m.workload_mean = 2.5;
+  m.host_alerts = 4;
+  m.tor_alerts = 2;
+  m.switch_alerts = 1;
+  m.migrations = 5;
+  m.migration_requests = 7;
+  m.migration_rejects = 2;
+  m.reroutes = 3;
+  m.migration_cost = 12.5;
+  m.search_space = 96;
+  m.max_link_utilization = 0.875;
+  m.congested_switches = 2;
+  m.rate_limited_flows = 6;
+  m.flow_satisfaction = 0.5;
+  m.flow_fairness = 1.0;
+  m.migration_seconds = 2.25;
+  m.migration_downtime_seconds = 0.0625;
+  m.failed_links = 1;
+  m.failed_switches = 0;
+  m.orphaned_vms = 2;
+  m.unroutable_flows = 3;
+  m.protocol_drops = 4;
+  m.protocol_retries = 5;
+  m.recovery_migrations = 6;
+
+  std::ostringstream csv;
+  core::write_metrics_csv(csv, std::span<const core::RoundMetrics>(&m, 1));
+
+  const std::string expected =
+      "round,stddev_before,stddev_after,mean_load,host_alerts,tor_alerts,switch_alerts,"
+      "migrations,requests,rejects,reroutes,migration_cost,search_space,max_link_util,"
+      "congested_switches,rate_limited_flows,flow_satisfaction,flow_fairness,migration_s,"
+      "downtime_s,failed_links,failed_switches,orphaned_vms,unroutable_flows,protocol_drops,"
+      "protocol_retries,recovery_migrations\n"
+      "3,1.250,0.750,2.500,4,2,1,5,7,2,3,12.50,96,0.875,2,6,0.500,1.000,2.25,0.0625,"
+      "1,0,2,3,4,5,6\n";
+  EXPECT_EQ(csv.str(), expected);
+}

@@ -1,9 +1,9 @@
 // Scale bench for the per-round hot path: run the engine naive (from-scratch
 // fair share, one Dijkstra per routing query, cost-model trees discarded
 // every round — the pre-optimization behavior) and optimized (incremental
-// FairShareSolver, router tree/path caches, retained cost trees) on the
-// evaluation fabrics, and report rounds/sec, per-phase wall time, and the
-// speedup. Emits machine-readable BENCH_scale.json next to the table; the
+// FairShareSolver, router tree/path caches, retained + partner-rooted +
+// leaf-shared cost trees, fast k-median) on the evaluation fabrics, and
+// report rounds/sec, per-phase wall time, and the speedup. Emits machine-readable BENCH_scale.json next to the table; the
 // CI perf gate (tools/check_bench_scale.py) compares the *ratios* — they
 // are machine-independent — against bench/baselines/BENCH_scale_baseline.json.
 //
@@ -30,6 +30,7 @@ struct Scenario {
   std::string name;
   topo::Topology topology;
   std::size_t rounds;
+  core::ManagerMode mode = core::ManagerMode::kSheriff;
 };
 
 struct RunResult {
@@ -50,15 +51,20 @@ struct ScenarioResult {
   RunResult naive;
   RunResult optimized;
   double speedup = 0.0;
+  double manage_ratio = 0.0;  ///< naive manage_ns / optimized manage_ns
 };
 
 RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
                      std::size_t* flows) {
   core::EngineConfig config;
   config.sheriff.cost.computing_cost = 100.0;  // Sec. VI-B settings
+  config.mode = scenario.mode;
   config.incremental_fair_share = optimized;
   config.route_cache = optimized;
   config.retain_cost_trees = optimized;
+  config.partner_rooted_costs = optimized;
+  config.shared_leaf_cost_trees = optimized;
+  config.fast_kmedian = optimized;
   core::DistributedEngine engine(scenario.topology, bench::bench_deployment_options(2015),
                                  config);
   if (vms != nullptr) *vms = engine.deployment().vm_count();
@@ -82,7 +88,9 @@ void emit_phases(std::ostream& os, const core::PhaseProfile& p, const char* inde
      << "\"fair_share\": " << p.fair_share_ns << ", "
      << "\"queue\": " << p.queue_ns << ", "
      << "\"predict\": " << p.predict_ns << ", "
-     << "\"manage\": " << p.manage_ns << "}";
+     << "\"manage\": " << p.manage_ns << ", "
+     << "\"manage_kmedian\": " << p.manage_kmedian_ns << ", "
+     << "\"manage_schedule\": " << p.manage_schedule_ns << "}";
 }
 
 void emit_run(std::ostream& os, const RunResult& r, const char* name, bool optimized) {
@@ -110,8 +118,8 @@ int main(int argc, char** argv) {
   bench::print_figure_header(
       "Scale", "per-round hot path: naive recompute vs incremental/cached engine",
       "the optimized engine must clear 3x the naive rounds/sec on the k=16 "
-      "Fat-Tree; the allocation itself is equivalent (locked by the "
-      "differential tests), only the work to produce it shrinks");
+      "Fat-Tree; the caching layers keep the allocation identical, the "
+      "cost-rooting modes keep it equal-cost (FP tie-breaks aside)");
 
   std::vector<Scenario> scenarios;
   {
@@ -122,6 +130,12 @@ int main(int argc, char** argv) {
     scenarios.push_back({"fat_tree_k16", topo::build_fat_tree(ft), 12});
     ft.pods = 24;
     scenarios.push_back({"fat_tree_k24", topo::build_fat_tree(ft), 6});
+    // Sec. V-A centralized k-median reduction: the manage phase is the
+    // planner + Alg. 5 local search + matching, exercising the fast
+    // delta-evaluated solver against the naive per-round rebuild + scan.
+    ft.pods = 16;
+    scenarios.push_back(
+        {"fat_tree_k16_kmedian", topo::build_fat_tree(ft), 12, core::ManagerMode::kKMedian});
   }
   {
     topo::BCubeOptions bc;
@@ -144,15 +158,22 @@ int main(int argc, char** argv) {
               << r.naive.rounds_per_sec << " rounds/s (" << r.naive.seconds << " s)\n";
     r.optimized = run_engine(s, true, nullptr, nullptr);
     r.speedup = r.optimized.rounds_per_sec / r.naive.rounds_per_sec;
+    r.manage_ratio = r.optimized.phases.manage_ns > 0
+                         ? static_cast<double>(r.naive.phases.manage_ns) /
+                               static_cast<double>(r.optimized.phases.manage_ns)
+                         : 0.0;
     std::cout << "  optimized: " << r.optimized.rounds_per_sec << " rounds/s ("
               << r.optimized.seconds << " s)\n"
-              << "  speedup:   " << std::setprecision(2) << r.speedup << "x\n"
+              << "  speedup:   " << std::setprecision(2) << r.speedup << "x"
+              << " (manage phase " << r.manage_ratio << "x: "
+              << r.naive.phases.manage_ns / 1e6 << " ms -> "
+              << r.optimized.phases.manage_ns / 1e6 << " ms)\n"
               << std::defaultfloat << std::setprecision(6);
     results.push_back(std::move(r));
   }
 
   std::ofstream os(out_path);
-  os << "{\n  \"schema\": \"sheriff.bench_scale.v1\",\n  \"scenarios\": [\n";
+  os << "{\n  \"schema\": \"sheriff.bench_scale.v2\",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
     os << "  {\n"
@@ -165,8 +186,8 @@ int main(int argc, char** argv) {
     emit_run(os, r.naive, "naive", false);
     os << ",\n";
     emit_run(os, r.optimized, "optimized", true);
-    os << ",\n    \"speedup\": " << r.speedup << "\n  }" << (i + 1 < results.size() ? "," : "")
-       << "\n";
+    os << ",\n    \"speedup\": " << r.speedup << ",\n    \"manage_ratio\": " << r.manage_ratio
+       << "\n  }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   std::cout << "\nwrote " << out_path << "\n";

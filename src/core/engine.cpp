@@ -25,6 +25,8 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
       cost_model_(topo, deployment_, config.sheriff.cost) {
   router_.set_cache_enabled(config_.route_cache);
   cost_model_.set_tree_cache_retained(config_.retain_cost_trees);
+  cost_model_.set_partner_rooted(config_.partner_rooted_costs);
+  cost_model_.set_shared_leaf_trees(config_.shared_leaf_cost_trees);
   // SHERIFF_FORCE_AUDIT=1 (the CI sanitizer job sets it) turns the
   // invariant auditor on in fail-fast mode for every engine, so the whole
   // tier-1 suite hard-fails on any conservation-law breach.
@@ -66,6 +68,24 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
     for (ShimController& shim : shims_) shim.set_liveness(&injector_->liveness());
     takeover_.resize(topo.rack_count());
     recompute_takeovers();
+  }
+  if (config_.mode == ManagerMode::kKMedian) {
+    // The planner's ToR rows are computed once here and shared across
+    // rounds; fast_kmedian=false reproduces the naive per-round rebuild in
+    // run_round (and solves with the reference scan, serially).
+    KMedianPlannerOptions planner_options;
+    planner_options.pool = config_.fast_kmedian ? &worker_pool() : nullptr;
+    planner_options.liveness = injector_ != nullptr ? &injector_->liveness() : nullptr;
+    kmedian_planner_ = std::make_unique<KMedianPlanner>(topo, planner_options);
+    KMedianMigrationManager::Options manager_options;
+    manager_options.destination_racks = config_.kmedian_destination_racks;
+    manager_options.local_search_p = config_.kmedian_swap_p;
+    manager_options.fast_local_search = config_.fast_kmedian;
+    manager_options.max_evaluations = config_.kmedian_max_evaluations;
+    manager_options.pool = config_.fast_kmedian ? &worker_pool() : nullptr;
+    manager_options.liveness = injector_ != nullptr ? &injector_->liveness() : nullptr;
+    kmedian_manager_ = std::make_unique<KMedianMigrationManager>(
+        deployment_, cost_model_, *kmedian_planner_, manager_options);
   }
   build_flows();
 }
@@ -487,10 +507,11 @@ RoundMetrics DistributedEngine::run_round() {
       }
     }
   } else {
-    // Centralized: the same per-rack alert collection feeds one global
-    // manager; host alerts of every rack are gathered through PRIORITY's
-    // single-VM rule applied per host, ToR/switch alerts per rack. A rack
-    // whose shim died unreplaced reports nothing — monitoring is lost too.
+    // Centralized baselines (kCentralized, kKMedian): the same per-rack
+    // alert collection feeds one manager with the global view; host alerts
+    // of every rack are gathered through PRIORITY's single-VM rule applied
+    // per host, ToR/switch alerts per rack. A rack whose shim died
+    // unreplaced reports nothing — monitoring is lost too.
     std::vector<wl::VmId> global_set;
     for (std::size_t s = 0; s < shims_.size(); ++s) {
       if (injector_ != nullptr && takeover_[s] == topo::kInvalidRack) continue;
@@ -511,9 +532,29 @@ RoundMetrics DistributedEngine::run_round() {
     // delay-sensitive VMs must restart elsewhere). collect() skipped their
     // hosts, so no VM appears twice.
     global_set.insert(global_set.end(), orphans.begin(), orphans.end());
-    CentralizedManager manager(deployment_, cost_model_, config_.sheriff);
-    if (injector_ != nullptr) manager.set_liveness(&injector_->liveness());
-    const auto plan = manager.migrate(std::move(global_set));
+    MigrationPlan plan;
+    if (config_.mode == ManagerMode::kKMedian) {
+      // Sec. V-A: planner row upkeep + the k-median solve are the
+      // manage_kmedian sub-phase; matching/scheduling is manage_schedule.
+      {
+        PhaseTimer timer(profile_.manage_kmedian_ns);
+        if (config_.fast_kmedian) {
+          kmedian_planner_->refresh();
+        } else {
+          kmedian_planner_->rebuild();
+        }
+      }
+      const KMedianMigrationManager::Stats& stats = kmedian_manager_->stats();
+      const std::uint64_t kmedian_before = stats.kmedian_ns;
+      const std::uint64_t schedule_before = stats.schedule_ns;
+      plan = kmedian_manager_->migrate(std::move(global_set));
+      profile_.manage_kmedian_ns += stats.kmedian_ns - kmedian_before;
+      profile_.manage_schedule_ns += stats.schedule_ns - schedule_before;
+    } else {
+      CentralizedManager manager(deployment_, cost_model_, config_.sheriff);
+      if (injector_ != nullptr) manager.set_liveness(&injector_->liveness());
+      plan = manager.migrate(std::move(global_set));
+    }
     count_recoveries(plan);
     observe_plan(plan);
     metrics.migrations += plan.moves.size();
@@ -556,6 +597,17 @@ void DistributedEngine::publish_round(const RoundMetrics& metrics,
       .observe(metrics.migration_cost);
   registry.gauge("trace.emitted").set(static_cast<double>(hub_->trace().total_emitted()));
   registry.gauge("trace.dropped").set(static_cast<double>(hub_->trace().total_dropped()));
+  if (kmedian_manager_ != nullptr) {
+    const KMedianMigrationManager::Stats& stats = kmedian_manager_->stats();
+    registry.counter("kmedian.plans").add(stats.plans - published_kmedian_stats_.plans);
+    registry.counter("kmedian.evaluations")
+        .add(stats.evaluations - published_kmedian_stats_.evaluations);
+    registry.counter("kmedian.cap_hits").add(stats.cap_hits - published_kmedian_stats_.cap_hits);
+    registry.counter("kmedian.planner_rebuilds")
+        .add(kmedian_planner_->rebuilds() - published_planner_rebuilds_);
+    published_kmedian_stats_ = stats;
+    published_planner_rebuilds_ = kmedian_planner_->rebuilds();
+  }
   if (config_.incremental_fair_share) solver_.publish_metrics(registry);
   router_.publish_metrics(registry);
   queues_.publish_metrics(registry);

@@ -23,6 +23,7 @@
 
 #include "core/centralized_manager.hpp"
 #include "core/config.hpp"
+#include "core/kmedian_planner.hpp"
 #include "core/predictor.hpp"
 #include "core/protocol.hpp"
 #include "core/shim_controller.hpp"
@@ -49,6 +50,7 @@ namespace sheriff::core {
 enum class ManagerMode : std::uint8_t {
   kSheriff,      ///< regional shims (the paper's scheme)
   kCentralized,  ///< one global manager (the baseline)
+  kKMedian,      ///< Sec. V-A centralized k-median reduction (Alg. 5 planner)
 };
 
 enum class MigrationProtocol : std::uint8_t {
@@ -73,10 +75,26 @@ struct EngineConfig {
   bool qcn_rate_control = true;         ///< end-host reaction to QCN feedback (Sec. III-A.2)
   // --- per-round hot-path switches (all on by default; turning one off
   //     reproduces the naive recompute-everything behavior, the bench
-  //     baseline — results are unchanged either way) ----------------------
+  //     baseline). The caching switches never change results; the two
+  //     cost-rooting switches pick equal-cost trees whose FP summation
+  //     order / path tie-breaks may differ, so each mode is deterministic
+  //     but the modes are not bit-identical to each other. ----------------
   bool incremental_fair_share = true;  ///< stateful FairShareSolver vs from-scratch waterfill
   bool route_cache = true;             ///< Router shortest-path-tree + resolved-path caches
   bool retain_cost_trees = true;       ///< keep cost-model Dijkstra trees across rounds
+  /// Dependency-span distances rooted at the partners instead of every
+  /// candidate destination (one Dijkstra tree per partner, not per host).
+  bool partner_rooted_costs = true;
+  /// Cost-model trees shared across single-homed hosts (rooted at the ToR
+  /// behind the host's one leaf edge): one tree per queried rack instead
+  /// of one per queried host on fat-tree-like fabrics.
+  bool shared_leaf_cost_trees = true;
+  /// kKMedian mode: delta-evaluated fast local search + liveness-gated
+  /// planner row reuse; off = reference solver + per-round planner rebuild.
+  bool fast_kmedian = true;
+  std::size_t kmedian_destination_racks = 4;  ///< k medians per plan (kKMedian mode)
+  std::size_t kmedian_swap_p = 2;             ///< Alg. 5 swap size (kKMedian mode)
+  std::size_t kmedian_max_evaluations = 0;    ///< k-median safety cap (0 = unlimited)
   /// Worker pool for the parallel sweeps (predictor observe, switch queue
   /// update, shim collect, protocol propose). nullptr = the process-wide
   /// default pool. Sweeps are bit-identical for any pool size — tests pin
@@ -138,7 +156,11 @@ struct PhaseProfile {
   std::uint64_t fair_share_ns = 0;  ///< max–min allocation
   std::uint64_t queue_ns = 0;       ///< switch queues + QCN rate control
   std::uint64_t predict_ns = 0;     ///< predictor observe + shim collect
-  std::uint64_t manage_ns = 0;      ///< reroutes + migration protocol
+  std::uint64_t manage_ns = 0;      ///< reroutes + migration protocol (total)
+  /// kKMedian-mode sub-phases of manage_ns: planner row upkeep + the
+  /// k-median solve, and the matching/scheduling of the chosen moves.
+  std::uint64_t manage_kmedian_ns = 0;
+  std::uint64_t manage_schedule_ns = 0;
   std::size_t rounds = 0;
 };
 
@@ -220,10 +242,15 @@ class DistributedEngine {
   std::vector<HoltScalar> tor_queue_predictors_;               ///< by RackId
   std::unique_ptr<fault::FaultInjector> injector_;  ///< null = pristine fabric
   std::unique_ptr<fault::LossyChannel> channel_;    ///< null = reliable messaging
+  std::unique_ptr<KMedianPlanner> kmedian_planner_;          ///< kKMedian mode only
+  std::unique_ptr<KMedianMigrationManager> kmedian_manager_; ///< kKMedian mode only
   std::unique_ptr<obs::ObservationHub> hub_;        ///< null = observability off
   std::vector<topo::RackId> takeover_;              ///< managing rack per rack
   std::size_t round_ = 0;
   PhaseProfile profile_;
+  /// Last stats snapshot published to the metric registry (delta counters).
+  KMedianMigrationManager::Stats published_kmedian_stats_;
+  std::size_t published_planner_rebuilds_ = 0;
 };
 
 }  // namespace sheriff::core

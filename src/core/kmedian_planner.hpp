@@ -8,13 +8,24 @@
 //      per-ToR Dijkstra sweep that is much cheaper on large fabrics).
 //   3. Treat the alerting source ToRs as clients, all ToRs as facilities,
 //      and solve k-median with the Alg. 5 local search (ratio 3 + 2/p).
+//
+// The ToR rows of T' are computed once and shared across plan() calls; a
+// planner bound to a LivenessMask recomputes them only when the mask's
+// version counter moved (refresh()), instead of re-running O(racks) full
+// Dijkstras per round.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "graph/kmedian.hpp"
+#include "topology/liveness.hpp"
 #include "topology/topology.hpp"
+
+namespace sheriff::common {
+class ThreadPool;
+}
 
 namespace sheriff::core {
 
@@ -22,6 +33,22 @@ struct KMedianPlan {
   std::vector<topo::RackId> destinations;  ///< the chosen m destination ToRs
   double connection_cost = 0.0;            ///< Σ_clients dist(client, nearest dest)
   std::size_t evaluations = 0;             ///< local-search solutions examined
+  bool hit_evaluation_cap = false;         ///< stopped on the evaluation budget
+};
+
+struct KMedianPlannerOptions {
+  /// The paper's original pipeline (rack multigraph + Floyd–Warshall);
+  /// O(|V|^3), test/small-scale only. The default per-ToR Dijkstra sweep
+  /// produces identical distances.
+  bool use_floyd_warshall = false;
+  /// Shards the per-ToR Dijkstra rows across the pool (each shard owns its
+  /// rows, so the matrix is identical for any pool size). nullptr = serial.
+  common::ThreadPool* pool = nullptr;
+  /// When set, distances are computed over the masked graph (unusable links
+  /// skipped), racks with a dead ToR are excluded from the facility set,
+  /// and refresh() rebuilds the rows when the mask's version moves. The
+  /// mask must outlive the planner.
+  const topo::LivenessMask* liveness = nullptr;
 };
 
 class KMedianPlanner {
@@ -30,14 +57,47 @@ class KMedianPlanner {
   /// selects the paper's original pipeline (builds the rack multigraph and
   /// runs FW); the default Dijkstra sweep produces identical distances.
   explicit KMedianPlanner(const topo::Topology& topo, bool use_floyd_warshall = false);
+  KMedianPlanner(const topo::Topology& topo, KMedianPlannerOptions options);
 
   /// d(T')(i, j) between two racks.
   [[nodiscard]] const graph::DistanceMatrix& rack_distances() const noexcept {
     return distances_;
   }
 
-  /// Chooses `k` destination racks for the given alerting source racks
-  /// with local-search swap size `p`.
+  /// Racks eligible as destinations (all racks, minus dead-ToR racks when a
+  /// liveness mask is bound).
+  [[nodiscard]] const std::vector<topo::RackId>& facility_racks() const noexcept {
+    return facilities_;
+  }
+
+  /// Recomputes the shared ToR rows iff the bound liveness mask changed
+  /// since the last build. Returns true when a rebuild happened. Planners
+  /// without a mask never rebuild (the topology is immutable).
+  bool refresh();
+
+  /// Unconditionally recomputes the ToR rows (the naive per-round behavior
+  /// the engine's fast_kmedian=false path reproduces for benchmarking).
+  void rebuild();
+
+  /// Times the distance rows were (re)built, the initial build included.
+  [[nodiscard]] std::size_t rebuilds() const noexcept { return rebuilds_; }
+
+  /// How plan() searches.
+  struct PlanOptions {
+    std::size_t k = 1;                  ///< destination racks to open
+    std::size_t p = 2;                  ///< Alg. 5 swap size
+    /// Delta-evaluated solver (first-improvement: identical medians to the
+    /// reference scan); false = the reference local_search_kmedian.
+    bool fast = true;
+    common::ThreadPool* pool = nullptr; ///< shards the fast gain sweeps
+    std::size_t max_evaluations = 0;    ///< safety cap (0 = unlimited)
+  };
+
+  /// Chooses destination racks for the given alerting source racks.
+  [[nodiscard]] KMedianPlan plan(const std::vector<topo::RackId>& source_racks,
+                                 const PlanOptions& options) const;
+
+  /// Reference-solver shorthand (kept for the ratio experiments/tests).
   [[nodiscard]] KMedianPlan plan(const std::vector<topo::RackId>& source_racks, std::size_t k,
                                  std::size_t p) const;
 
@@ -50,7 +110,11 @@ class KMedianPlanner {
       const std::vector<topo::RackId>& source_racks, std::size_t k) const;
 
   const topo::Topology* topo_;
+  KMedianPlannerOptions options_;
   graph::DistanceMatrix distances_;
+  std::vector<topo::RackId> facilities_;
+  std::uint64_t built_version_ = 0;
+  std::size_t rebuilds_ = 0;
 };
 
 }  // namespace sheriff::core
@@ -72,6 +136,24 @@ class KMedianMigrationManager {
   struct Options {
     std::size_t destination_racks = 4;  ///< k medians to open
     std::size_t local_search_p = 2;     ///< Alg. 5 swap size
+    /// Delta-evaluated fast solver (same medians as the reference scan —
+    /// first-improvement trajectory parity); false = reference solver.
+    bool fast_local_search = true;
+    std::size_t max_evaluations = 0;    ///< k-median safety cap (0 = unlimited)
+    common::ThreadPool* pool = nullptr; ///< shards the fast gain sweeps
+    /// When set, detached hosts (dead, or cut off behind a dead ToR) are
+    /// excluded from the migration targets. Must outlive the manager.
+    const topo::LivenessMask* liveness = nullptr;
+  };
+
+  /// Cumulative counters across migrate() calls, for the obs registry and
+  /// the engine's manage_kmedian/manage_schedule sub-phase profile.
+  struct Stats {
+    std::size_t plans = 0;            ///< k-median plans solved
+    std::size_t evaluations = 0;      ///< candidate evaluations across plans
+    std::size_t cap_hits = 0;         ///< plans stopped by max_evaluations
+    std::uint64_t kmedian_ns = 0;     ///< wall time in the k-median solve
+    std::uint64_t schedule_ns = 0;    ///< wall time matching/scheduling the moves
   };
 
   /// The planner must be built over the same topology as the deployment.
@@ -89,12 +171,15 @@ class KMedianMigrationManager {
     return last_destinations_;
   }
 
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
  private:
   wl::Deployment* deployment_;
   mig::MigrationCostModel* cost_model_;
   const KMedianPlanner* planner_;
   Options options_;
   std::vector<topo::RackId> last_destinations_;
+  Stats stats_;
 };
 
 }  // namespace sheriff::core

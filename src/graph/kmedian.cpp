@@ -8,7 +8,7 @@
 
 namespace sheriff::graph {
 
-namespace {
+namespace detail {
 
 void validate(const KMedianInstance& instance) {
   SHERIFF_REQUIRE(instance.distance != nullptr, "instance needs a distance matrix");
@@ -19,8 +19,6 @@ void validate(const KMedianInstance& instance) {
   for (std::size_t f : instance.facilities) SHERIFF_REQUIRE(f < n, "facility out of range");
 }
 
-/// Enumerates all index-combinations of size `p` from [0, n); invokes fn
-/// with each. Returns false if fn requested a stop (found improvement).
 bool for_each_combination(std::size_t n, std::size_t p,
                           const std::function<bool(const std::vector<std::size_t>&)>& fn) {
   std::vector<std::size_t> idx(p);
@@ -41,7 +39,10 @@ bool for_each_combination(std::size_t n, std::size_t p,
   }
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::for_each_combination;
+using detail::validate;
 
 double kmedian_cost(const KMedianInstance& instance, const std::vector<std::size_t>& medians) {
   SHERIFF_REQUIRE(!medians.empty(), "median set must be non-empty");
@@ -68,7 +69,7 @@ KMedianSolution local_search_kmedian(const KMedianInstance& instance, std::size_
   const std::size_t max_swap = std::min(p, instance.k);
 
   bool improved = true;
-  while (improved) {
+  while (improved && !sol.hit_evaluation_cap) {
     improved = false;
     // Try swap sizes 1..p; first improvement restarts the scan.
     for (std::size_t swap = 1; swap <= max_swap && !improved; ++swap) {
@@ -83,6 +84,11 @@ KMedianSolution local_search_kmedian(const KMedianInstance& instance, std::size_
       for_each_combination(sol.medians.size(), swap, [&](const std::vector<std::size_t>& out_idx) {
         return for_each_combination(outside.size(), swap,
                                     [&](const std::vector<std::size_t>& in_idx) {
+          if (instance.max_evaluations != 0 &&
+              sol.evaluations >= instance.max_evaluations) {
+            sol.hit_evaluation_cap = true;
+            return false;  // budget spent: keep the current solution
+          }
           std::vector<std::size_t> candidate = sol.medians;
           for (std::size_t i = 0; i < swap; ++i) candidate[out_idx[i]] = outside[in_idx[i]];
           const double cost = kmedian_cost(instance, candidate);
@@ -96,6 +102,7 @@ KMedianSolution local_search_kmedian(const KMedianInstance& instance, std::size_
           return true;
         });
       });
+      if (sol.hit_evaluation_cap) break;
     }
   }
   std::sort(sol.medians.begin(), sol.medians.end());

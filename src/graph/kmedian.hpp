@@ -6,6 +6,7 @@
 // as ground truth by the ratio experiments and property tests.
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -17,16 +18,36 @@ struct KMedianInstance {
   std::vector<std::size_t> clients;          ///< demand points (source ToRs)
   std::vector<std::size_t> facilities;       ///< allowed medians (all ToRs)
   std::size_t k = 1;                         ///< number of medians to open
+  /// Safety bound on candidate evaluations (0 = unlimited). Local search on
+  /// a pathological metric can take a long improvement chain; once the
+  /// budget is spent the solver returns its current (still feasible, just
+  /// not necessarily locally optimal) solution and flags the cap.
+  std::size_t max_evaluations = 0;
 };
 
 struct KMedianSolution {
   std::vector<std::size_t> medians;   ///< chosen facility ids, size k
   double cost = 0.0;                  ///< sum over clients of distance to nearest median
   std::size_t evaluations = 0;        ///< candidate solutions examined (search-space metric)
+  bool hit_evaluation_cap = false;    ///< stopped early on KMedianInstance::max_evaluations
 };
 
 /// Connection cost of a given median set for the instance.
 double kmedian_cost(const KMedianInstance& instance, const std::vector<std::size_t>& medians);
+
+namespace detail {
+
+/// Shared between the reference and fast solvers.
+void validate(const KMedianInstance& instance);
+
+/// Enumerates all index-combinations of size `p` from [0, n) in
+/// lexicographic order; invokes fn with each. Returns false if fn requested
+/// a stop (found improvement). Both solvers scan candidates in exactly this
+/// order — the differential tests rely on matching trajectories.
+bool for_each_combination(std::size_t n, std::size_t p,
+                          const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+}  // namespace detail
 
 /// Alg. 5: local search with swaps of up to `p` facilities at a time,
 /// first-improvement, deterministic initial solution (first k facilities).

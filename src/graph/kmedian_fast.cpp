@@ -1,0 +1,329 @@
+#include "graph/kmedian_fast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace sheriff::graph {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One accepted/recommended single swap out of a delta sweep.
+struct SwapChoice {
+  bool found = false;
+  std::size_t position = 0;  ///< median slot to close
+  std::size_t facility = 0;  ///< facility id to open
+  double gain = 0.0;
+};
+
+/// Per-shard sweep output; merged in shard order after the parallel phase.
+struct ShardResult {
+  // Best-improvement: highest-gain improving swap of the shard.
+  SwapChoice best;
+  // First-improvement: per median slot, the smallest outside-scan index of
+  // an improving facility in this shard (kNone when none improves there).
+  std::vector<std::size_t> first_by_pos;
+};
+
+bool improves(double cost, double gain, double min_relative_gain) {
+  // Mirror the reference acceptance test: candidate < cost · (1 − ε).
+  return cost - gain < cost * (1.0 - min_relative_gain);
+}
+
+/// (gain, facility id, position) ordering for best-improvement: strictly
+/// higher gain wins; ties break on lowest facility id, then lowest slot.
+bool better_choice(const SwapChoice& candidate, const SwapChoice& incumbent) {
+  if (!incumbent.found) return true;
+  if (candidate.gain != incumbent.gain) return candidate.gain > incumbent.gain;
+  if (candidate.facility != incumbent.facility) return candidate.facility < incumbent.facility;
+  return candidate.position < incumbent.position;
+}
+
+}  // namespace
+
+KMedianState::KMedianState(const KMedianInstance& instance, std::vector<std::size_t> medians)
+    : instance_(&instance) {
+  open_mask_.assign(instance.distance->size(), 0);
+  reset(std::move(medians));
+}
+
+void KMedianState::reset(std::vector<std::size_t> medians) {
+  SHERIFF_REQUIRE(!medians.empty(), "median set must be non-empty");
+  for (std::size_t f : open_) open_mask_[f] = 0;
+  open_ = std::move(medians);
+  for (std::size_t f : open_) {
+    SHERIFF_REQUIRE(f < open_mask_.size(), "median out of range");
+    open_mask_[f] = 1;
+  }
+  const std::size_t clients = instance_->clients.size();
+  d1_.assign(clients, kInf);
+  d2_.assign(clients, kInf);
+  m1_.assign(clients, 0);
+  m2_.assign(clients, 0);
+  for (std::size_t ci = 0; ci < clients; ++ci) rebuild_client(ci);
+  recompute_cost();
+}
+
+bool KMedianState::is_open(std::size_t facility) const {
+  return facility < open_mask_.size() && open_mask_[facility] != 0;
+}
+
+void KMedianState::rebuild_client(std::size_t ci) {
+  const std::size_t c = instance_->clients[ci];
+  double d1 = kInf;
+  double d2 = kInf;
+  std::uint32_t m1 = 0;
+  std::uint32_t m2 = 0;
+  for (std::size_t s = 0; s < open_.size(); ++s) {
+    const double d = instance_->distance->at(c, open_[s]);
+    if (d < d1) {
+      d2 = d1;
+      m2 = m1;
+      d1 = d;
+      m1 = static_cast<std::uint32_t>(s);
+    } else if (d < d2) {
+      d2 = d;
+      m2 = static_cast<std::uint32_t>(s);
+    }
+  }
+  d1_[ci] = d1;
+  d2_[ci] = d2;
+  m1_[ci] = m1;
+  m2_[ci] = m2;
+}
+
+void KMedianState::recompute_cost() {
+  // Fixed client order: the sum is bitwise equal to kmedian_cost over the
+  // same median set, so the fast trajectory tracks the reference exactly.
+  double total = 0.0;
+  for (std::size_t ci = 0; ci < d1_.size(); ++ci) total += d1_[ci];
+  cost_ = total;
+}
+
+void KMedianState::apply_swap(std::size_t position, std::size_t facility) {
+  SHERIFF_REQUIRE(position < open_.size(), "swap position out of range");
+  SHERIFF_REQUIRE(facility < open_mask_.size(), "swap facility out of range");
+  SHERIFF_REQUIRE(open_mask_[facility] == 0, "swap facility already open");
+  open_mask_[open_[position]] = 0;
+  open_[position] = facility;
+  open_mask_[facility] = 1;
+  const std::uint32_t pos = static_cast<std::uint32_t>(position);
+  for (std::size_t ci = 0; ci < d1_.size(); ++ci) {
+    if (m1_[ci] == pos || m2_[ci] == pos) {
+      rebuild_client(ci);
+      continue;
+    }
+    const double d = instance_->distance->at(instance_->clients[ci], facility);
+    if (d < d1_[ci]) {
+      d2_[ci] = d1_[ci];
+      m2_[ci] = m1_[ci];
+      d1_[ci] = d;
+      m1_[ci] = pos;
+    } else if (d < d2_[ci]) {
+      d2_[ci] = d;
+      m2_[ci] = pos;
+    }
+  }
+  recompute_cost();
+}
+
+namespace {
+
+/// Facilities outside the current median set, in instance order — the same
+/// scan order the reference solver uses.
+std::vector<std::size_t> outside_facilities(const KMedianInstance& instance,
+                                            const KMedianState& state) {
+  std::vector<std::size_t> outside;
+  outside.reserve(instance.facilities.size());
+  for (std::size_t f : instance.facilities) {
+    if (!state.is_open(f)) outside.push_back(f);
+  }
+  return outside;
+}
+
+/// Evaluates the candidate facilities `outside[lo..hi)` against every median
+/// slot via the delta formula and records the shard's recommendation.
+void sweep_shard(const KMedianInstance& instance, const KMedianState& state,
+                 const std::vector<std::size_t>& outside, std::size_t lo, std::size_t hi,
+                 const FastKMedianOptions& options, ShardResult& result) {
+  const std::size_t k = state.open().size();
+  const std::size_t clients = instance.clients.size();
+  const double cost = state.cost();
+  std::vector<double> loss(k);
+  if (options.policy == SwapPolicy::kFirstImprovement) {
+    result.first_by_pos.assign(k, kNone);
+  }
+  for (std::size_t oi = lo; oi < hi; ++oi) {
+    const std::size_t f = outside[oi];
+    std::fill(loss.begin(), loss.end(), 0.0);
+    double gain_add = 0.0;
+    for (std::size_t ci = 0; ci < clients; ++ci) {
+      const double dcf = instance.distance->at(instance.clients[ci], f);
+      const double d1 = state.nearest_distance(ci);
+      if (dcf < d1) {
+        gain_add += d1 - dcf;
+      } else {
+        // Only matters when the client's own median closes: it reconnects
+        // to min(second-nearest, f).
+        loss[state.nearest_position(ci)] += std::min(state.second_distance(ci), dcf) - d1;
+      }
+    }
+    for (std::size_t pos = 0; pos < k; ++pos) {
+      const double gain = gain_add - loss[pos];
+      if (!improves(cost, gain, options.min_relative_gain)) continue;
+      if (options.policy == SwapPolicy::kFirstImprovement) {
+        // oi ascends, so the first hit per slot is the shard's smallest.
+        if (result.first_by_pos[pos] == kNone) result.first_by_pos[pos] = oi;
+      } else {
+        SwapChoice candidate{true, pos, f, gain};
+        if (better_choice(candidate, result.best)) result.best = candidate;
+      }
+    }
+  }
+}
+
+/// One full delta sweep over all k·|outside| single swaps. Shards the
+/// candidate facilities, merges shard results in fixed order, and returns
+/// the chosen swap (policy-dependent) — byte-identical for any pool size.
+SwapChoice delta_sweep(const KMedianInstance& instance, const KMedianState& state,
+                       const std::vector<std::size_t>& outside,
+                       const FastKMedianOptions& options) {
+  SwapChoice chosen;
+  if (outside.empty()) return chosen;
+  const std::size_t shard_size = std::max<std::size_t>(1, options.shard_size);
+  const std::size_t shards = (outside.size() + shard_size - 1) / shard_size;
+  std::vector<ShardResult> results(shards);
+  const auto run_shard = [&](std::size_t s) {
+    const std::size_t lo = s * shard_size;
+    const std::size_t hi = std::min(outside.size(), lo + shard_size);
+    sweep_shard(instance, state, outside, lo, hi, options, results[s]);
+  };
+  if (options.pool != nullptr && shards > 1) {
+    common::parallel_for(*options.pool, shards, run_shard);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) run_shard(s);
+  }
+  if (options.policy == SwapPolicy::kFirstImprovement) {
+    // Reference order is median-slot major: the winner is the lowest slot
+    // with any improving facility, then the smallest scan index there.
+    const std::size_t k = state.open().size();
+    for (std::size_t pos = 0; pos < k && !chosen.found; ++pos) {
+      std::size_t first = kNone;
+      for (const ShardResult& r : results) {
+        if (r.first_by_pos[pos] != kNone) {
+          first = r.first_by_pos[pos];
+          break;  // shards cover ascending index ranges
+        }
+      }
+      if (first != kNone) {
+        chosen.found = true;
+        chosen.position = pos;
+        chosen.facility = outside[first];
+      }
+    }
+  } else {
+    for (const ShardResult& r : results) {
+      if (r.best.found && better_choice(r.best, chosen)) chosen = r.best;
+    }
+  }
+  return chosen;
+}
+
+/// The p ≥ 2 convergence check: the reference combinational first-improvement
+/// scan over swap sizes 2..p, seeded from the current (fast-p1) solution.
+/// Applies the first improving multi-swap via state.reset and returns true;
+/// returns false when no multi-swap improves (local optimality certificate).
+bool multi_swap_scan(const KMedianInstance& instance, KMedianState& state, KMedianSolution& sol,
+                     const FastKMedianOptions& options) {
+  const std::size_t max_swap = std::min(options.p, instance.k);
+  for (std::size_t swap = 2; swap <= max_swap; ++swap) {
+    const std::vector<std::size_t> outside = outside_facilities(instance, state);
+    if (outside.size() < swap) continue;
+    bool found = false;
+    detail::for_each_combination(
+        state.open().size(), swap, [&](const std::vector<std::size_t>& out_idx) {
+          return detail::for_each_combination(
+              outside.size(), swap, [&](const std::vector<std::size_t>& in_idx) {
+                if (instance.max_evaluations != 0 &&
+                    sol.evaluations >= instance.max_evaluations) {
+                  sol.hit_evaluation_cap = true;
+                  return false;
+                }
+                std::vector<std::size_t> candidate = state.open();
+                for (std::size_t i = 0; i < swap; ++i) candidate[out_idx[i]] = outside[in_idx[i]];
+                const double cost = kmedian_cost(instance, candidate);
+                ++sol.evaluations;
+                if (cost < state.cost() * (1.0 - options.min_relative_gain)) {
+                  state.reset(std::move(candidate));
+                  found = true;
+                  return false;
+                }
+                return true;
+              });
+        });
+    if (found) return true;
+    if (sol.hit_evaluation_cap) return false;
+  }
+  return false;
+}
+
+bool all_distances_finite(const KMedianInstance& instance) {
+  for (std::size_t c : instance.clients) {
+    for (std::size_t f : instance.facilities) {
+      if (!std::isfinite(instance.distance->at(c, f))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+KMedianSolution fast_kmedian(const KMedianInstance& instance, const FastKMedianOptions& options) {
+  detail::validate(instance);
+  SHERIFF_REQUIRE(options.p >= 1, "swap size p must be at least 1");
+  if (!all_distances_finite(instance)) {
+    // A partitioned fabric can leave unreachable pairs; the delta formulas
+    // would mix infinities (∞ − ∞), so defer to the reference solver.
+    return local_search_kmedian(instance, options.p, options.min_relative_gain);
+  }
+
+  KMedianState state(instance,
+                     {instance.facilities.begin(),
+                      instance.facilities.begin() + static_cast<std::ptrdiff_t>(instance.k)});
+  KMedianSolution sol;
+  sol.evaluations = 1;
+
+  bool converged = false;
+  while (!converged && !sol.hit_evaluation_cap) {
+    // Fast p=1 phase: delta sweeps until no single swap improves.
+    for (;;) {
+      if (instance.max_evaluations != 0 && sol.evaluations >= instance.max_evaluations) {
+        sol.hit_evaluation_cap = true;
+        break;
+      }
+      const std::vector<std::size_t> outside = outside_facilities(instance, state);
+      const SwapChoice choice = delta_sweep(instance, state, outside, options);
+      sol.evaluations += outside.size() * state.open().size();
+      if (!choice.found) break;
+      state.apply_swap(choice.position, choice.facility);
+    }
+    if (sol.hit_evaluation_cap) break;
+    // Convergence check: no p ≤ options.p swap may improve. A successful
+    // multi-swap re-opens the fast p=1 phase, exactly like the reference
+    // restarting its scan at swap size 1.
+    converged = options.p < 2 || !multi_swap_scan(instance, state, sol, options);
+  }
+
+  sol.medians = state.open();
+  std::sort(sol.medians.begin(), sol.medians.end());
+  sol.cost = state.cost();
+  return sol;
+}
+
+}  // namespace sheriff::graph

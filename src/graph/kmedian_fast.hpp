@@ -1,0 +1,120 @@
+#pragma once
+// Fast swap-based k-median (Resende & Werneck-style delta evaluation).
+//
+// The reference Alg. 5 local search (kmedian.hpp) re-evaluates
+// kmedian_cost from scratch for every candidate swap — O(k·|F|·|C|·k) per
+// improvement step for p = 1. The classic fast formulation keeps, per
+// client, the distance to its nearest and second-nearest open median; with
+// that bookkeeping the gain of every single swap ⟨close r, open f⟩ is
+//
+//   gain(r, f) = gain_add(f) − loss(r, f)
+//   gain_add(f) = Σ_c max(0, d1(c) − d(c, f))
+//   loss(r, f)  = Σ_{c: nearest(c)=r, d(c,f) ≥ d1(c)} (min(d2(c), d(c,f)) − d1(c))
+//
+// so one sweep over all k·(|F|−k) swaps costs O(|F|·(|C|+k)) — each
+// candidate facility f needs one pass over the clients plus a k-sized
+// reduction. Sweeps are sharded over candidate facilities across the
+// common::ThreadPool; every shard computes its candidates independently
+// with a fixed client accumulation order and shards merge in fixed order,
+// so the result is byte-identical for any pool size.
+//
+// Swap sizes p ≥ 2 fall back to the reference combinational scan seeded
+// from the fast p=1 local optimum: the 3 + 2/p analysis of Arya et al.
+// only needs that *no* swap of size ≤ p improves the final solution, so
+// running the p ≥ 2 scan as the convergence check (and resuming fast p=1
+// sweeps after any accepted multi-swap) preserves the approximation ratio.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/kmedian.hpp"
+
+namespace sheriff::common {
+class ThreadPool;
+}
+
+namespace sheriff::graph {
+
+/// Which improving swap a delta sweep applies.
+enum class SwapPolicy : std::uint8_t {
+  /// Highest-gain swap of the sweep; ties broken on lowest facility id,
+  /// then lowest median slot. The classic best-improvement formulation.
+  kBestImprovement,
+  /// The first improving swap in the reference solver's scan order
+  /// (median slot major, then facilities in instance order). With this
+  /// policy the fast solver replays the reference trajectory exactly and
+  /// terminates with identical medians — the differential tests pin it.
+  kFirstImprovement,
+};
+
+struct FastKMedianOptions {
+  std::size_t p = 1;                   ///< Alg. 5 swap size (≥2 uses the reference scan)
+  double min_relative_gain = 1e-9;     ///< same improvement threshold as the reference
+  SwapPolicy policy = SwapPolicy::kFirstImprovement;
+  /// Worker pool for the parallel gain sweeps; nullptr = serial. Results
+  /// are byte-identical for any pool size (fixed shard order + tie-breaks).
+  common::ThreadPool* pool = nullptr;
+  /// Candidate facilities per shard. The shard partition is a function of
+  /// the instance only (never of the pool), so determinism is preserved.
+  std::size_t shard_size = 64;
+};
+
+/// Per-client nearest / second-nearest open-median bookkeeping plus the
+/// connection cost, repaired incrementally after each accepted swap.
+class KMedianState {
+ public:
+  /// `medians` are facility ids (positions in the distance matrix).
+  KMedianState(const KMedianInstance& instance, std::vector<std::size_t> medians);
+
+  /// Rebuilds all bookkeeping for a new median set (used when the p ≥ 2
+  /// convergence check accepts a multi-swap).
+  void reset(std::vector<std::size_t> medians);
+
+  [[nodiscard]] double cost() const noexcept { return cost_; }
+  [[nodiscard]] const std::vector<std::size_t>& open() const noexcept { return open_; }
+  [[nodiscard]] bool is_open(std::size_t facility) const;
+
+  /// Closes the median at `position` and opens `facility` there, repairing
+  /// the per-client bookkeeping incrementally: clients whose nearest or
+  /// second-nearest lived at `position` rescan the open set (O(k)), every
+  /// other client only compares against the new facility (O(1)). The cost
+  /// is re-summed over the repaired d1 in fixed client order, so it stays
+  /// bitwise equal to a from-scratch kmedian_cost of the same median set.
+  void apply_swap(std::size_t position, std::size_t facility);
+
+  /// Distance from client index `ci` (into instance.clients) to its
+  /// nearest / second-nearest open median. Test hooks.
+  [[nodiscard]] double nearest_distance(std::size_t ci) const { return d1_[ci]; }
+  [[nodiscard]] double second_distance(std::size_t ci) const { return d2_[ci]; }
+  /// Median slot (position in open()) serving client `ci`.
+  [[nodiscard]] std::size_t nearest_position(std::size_t ci) const { return m1_[ci]; }
+
+ private:
+  friend KMedianSolution fast_kmedian(const KMedianInstance&, const FastKMedianOptions&);
+
+  void rebuild_client(std::size_t ci);
+  void recompute_cost();
+
+  const KMedianInstance* instance_;
+  std::vector<std::size_t> open_;       ///< facility id per median slot
+  std::vector<char> open_mask_;         ///< by facility id (matrix index)
+  std::vector<double> d1_;              ///< per client: nearest open distance
+  std::vector<double> d2_;              ///< per client: second-nearest distance
+  std::vector<std::uint32_t> m1_;       ///< per client: slot of the nearest
+  std::vector<std::uint32_t> m2_;       ///< per client: slot of the second
+  double cost_ = 0.0;
+};
+
+/// Delta-evaluated local search. For p = 1 with SwapPolicy::kFirstImprovement
+/// the accepted-swap trajectory — and therefore the final median set — is
+/// identical to local_search_kmedian(instance, 1); only the work to find
+/// each swap shrinks. Instances with an unreachable client/facility pair
+/// (possible on a partitioned fabric) fall back to the reference solver,
+/// whose ∞-cost comparisons handle them. Honors
+/// KMedianInstance::max_evaluations at sweep granularity: the fast path may
+/// overshoot the cap by at most one sweep (k·(|F|−k) candidates).
+KMedianSolution fast_kmedian(const KMedianInstance& instance,
+                             const FastKMedianOptions& options = {});
+
+}  // namespace sheriff::graph

@@ -52,7 +52,33 @@ const graph::ShortestPathTree& MigrationCostModel::tree_for(topo::NodeId source)
 
 double MigrationCostModel::host_distance(topo::NodeId from, topo::NodeId to) const {
   if (from == to) return 0.0;
+  if (shared_leaf_trees_) {
+    const auto edges = distance_graph_.neighbors(from);
+    if (edges.size() == 1) {
+      // Single-homed: every path out of `from` crosses its one leaf edge,
+      // so the neighbor's (shared) tree answers the query.
+      const auto& leaf = edges[0];
+      if (to == leaf.to) return leaf.weight;
+      return leaf.weight + tree_for(leaf.to).distance[to];
+    }
+  }
   return tree_for(from).distance[to];
+}
+
+std::vector<topo::NodeId> MigrationCostModel::shortest_path(topo::NodeId from,
+                                                            topo::NodeId to) const {
+  if (shared_leaf_trees_ && from != to) {
+    const auto edges = distance_graph_.neighbors(from);
+    if (edges.size() == 1) {
+      const auto& leaf = edges[0];
+      if (to == leaf.to) return {from, to};
+      auto path = tree_for(leaf.to).path_to(to);
+      if (path.empty()) return path;  // unreachable
+      path.insert(path.begin(), from);
+      return path;
+    }
+  }
+  return tree_for(from).path_to(to);
 }
 
 CostBreakdown MigrationCostModel::cost(wl::VmId vm_id, topo::NodeId destination) const {
@@ -63,13 +89,18 @@ CostBreakdown MigrationCostModel::cost(wl::VmId vm_id, topo::NodeId destination)
   breakdown.computing = params_.computing_cost;
 
   // Dependency cost (Eq. 1's C_d·D(e)·χ term), in the configured mode.
+  // Partner-rooted mode queries the same distances from the partner's tree
+  // (the wired graph is undirected, so d(a,b) = d(b,a)): one tree per
+  // partner instead of one per candidate destination.
   double new_span = 0.0;
   double old_span = 0.0;
   for (wl::VmId other : deployment_->dependencies().neighbors(vm_id)) {
     const topo::NodeId partner = deployment_->vm(other).host;
-    new_span += host_distance(destination, partner);
+    new_span += partner_rooted_ ? host_distance(partner, destination)
+                                : host_distance(destination, partner);
     if (params_.dependency_mode == DependencyCostMode::kClampedDelta) {
-      old_span += host_distance(vm.host, partner);
+      old_span += partner_rooted_ ? host_distance(partner, vm.host)
+                                  : host_distance(vm.host, partner);
     }
   }
   switch (params_.dependency_mode) {
@@ -83,7 +114,7 @@ CostBreakdown MigrationCostModel::cost(wl::VmId vm_id, topo::NodeId destination)
   }
 
   // Transmission cost over the shortest distance path source → destination.
-  const auto path = tree_for(vm.host).path_to(destination);
+  const auto path = shortest_path(vm.host, destination);
   if (path.size() < 2) return breakdown;  // unreachable: infeasible
   double transmission = 0.0;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -110,7 +141,7 @@ CostBreakdown MigrationCostModel::cost(wl::VmId vm_id, topo::NodeId destination)
 double MigrationCostModel::path_bottleneck_bandwidth(wl::VmId vm,
                                                      topo::NodeId destination) const {
   const wl::VirtualMachine& m = deployment_->vm(vm);
-  const auto path = tree_for(m.host).path_to(destination);
+  const auto path = shortest_path(m.host, destination);
   if (path.size() < 2) return 0.0;
   double bottleneck = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {

@@ -93,6 +93,27 @@ class MigrationCostModel {
   void set_tree_cache_retained(bool retain);
   [[nodiscard]] bool tree_cache_retained() const noexcept { return retain_trees_; }
 
+  /// Roots the dependency-span Dijkstra trees at the VMs' *partners*
+  /// instead of the candidate destination. Distances on the undirected
+  /// wired graph are symmetric, so the spans are equal (up to FP summation
+  /// order along a path); but a matching pass evaluates every candidate
+  /// destination against a small partner set, so partner rooting shrinks
+  /// the tree cache from one tree per candidate host to one per partner —
+  /// the dominant Dijkstra load of the manage phase.
+  void set_partner_rooted(bool partner_rooted) noexcept { partner_rooted_ = partner_rooted; }
+  [[nodiscard]] bool partner_rooted() const noexcept { return partner_rooted_; }
+
+  /// Shares trees across single-homed hosts: a host with exactly one wired
+  /// link (every fat-tree host; not BCube servers, which relay traffic)
+  /// reaches the fabric only through that link, so its distances and paths
+  /// are the neighbor ToR's tree plus the leaf edge. All hosts of a rack
+  /// then share the ToR-rooted tree, collapsing the cache from one tree
+  /// per queried host to one per queried rack. Distances can differ from
+  /// the host-rooted tree by FP summation order, and equal-length paths by
+  /// tie-break root, so this is a mode, not a pure cache change.
+  void set_shared_leaf_trees(bool shared) noexcept { shared_leaf_trees_ = shared; }
+  [[nodiscard]] bool shared_leaf_trees() const noexcept { return shared_leaf_trees_; }
+
   /// Cost of migrating `vm` from its current host to `destination`.
   [[nodiscard]] CostBreakdown cost(wl::VmId vm, topo::NodeId destination) const;
 
@@ -111,6 +132,10 @@ class MigrationCostModel {
 
  private:
   const graph::ShortestPathTree& tree_for(topo::NodeId source) const;
+  /// One shortest distance path `from` → `to` (empty when unreachable),
+  /// routed through the shared leaf tree when the mode is on.
+  [[nodiscard]] std::vector<topo::NodeId> shortest_path(topo::NodeId from,
+                                                        topo::NodeId to) const;
 
   const topo::Topology* topo_;
   const wl::Deployment* deployment_;
@@ -118,6 +143,8 @@ class MigrationCostModel {
   graph::Graph distance_graph_;
   const net::FairShareResult* shares_ = nullptr;
   bool retain_trees_ = true;
+  bool partner_rooted_ = false;
+  bool shared_leaf_trees_ = false;
   // Values are stable pointers so concurrent readers can hold references
   // across rehashes; the mutex only guards lookups/insertions.
   mutable std::mutex cache_mutex_;

@@ -1,0 +1,300 @@
+// Fast swap-based k-median tests: differential equality against the
+// reference Alg. 5 scan (first-improvement trajectory parity), the
+// 3 + 2/p bound against the exhaustive optimum, byte-identical parallel
+// sweeps across pool sizes (pristine and faulted planners), the
+// max_evaluations safety cap, planner refresh semantics, and a
+// naive-vs-fast differential of the engine's kKMedian manage phase.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "core/kmedian_planner.hpp"
+#include "graph/kmedian.hpp"
+#include "graph/kmedian_fast.hpp"
+#include "topology/fat_tree.hpp"
+#include "topology/liveness.hpp"
+
+namespace sg = sheriff::graph;
+namespace sc = sheriff::common;
+namespace core = sheriff::core;
+namespace topo = sheriff::topo;
+namespace wl = sheriff::wl;
+
+namespace {
+
+/// Random metric: points on a plane, Euclidean distances.
+sg::DistanceMatrix random_metric(std::size_t n, sc::Pcg32& rng) {
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+  sg::DistanceMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      m.set(i, j, std::sqrt(dx * dx + dy * dy));
+    }
+  }
+  return m;
+}
+
+sg::KMedianInstance make_instance(const sg::DistanceMatrix& m, std::size_t k) {
+  sg::KMedianInstance instance;
+  instance.distance = &m;
+  instance.k = k;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    instance.clients.push_back(i);
+    instance.facilities.push_back(i);
+  }
+  return instance;
+}
+
+const topo::Topology& small_fat_tree() {
+  static const topo::Topology t = [] {
+    topo::FatTreeOptions options;
+    options.pods = 4;
+    options.hosts_per_rack = 3;
+    return topo::build_fat_tree(options);
+  }();
+  return t;
+}
+
+}  // namespace
+
+// --- Differential: the fast first-improvement p=1 path replays the
+// --- reference scan's trajectory — identical medians and bitwise cost.
+
+TEST(FastKMedianDifferential, FirstImprovementMatchesReferenceAcross50Seeds) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    sc::Pcg32 rng(1000 + seed);
+    const std::size_t n = 6 + rng.next_below(3);  // 6..8
+    const auto m = random_metric(n, rng);
+    const std::size_t k = 2 + seed % 3;
+    if (k >= n) continue;
+    auto instance = make_instance(m, k);
+    for (std::size_t p = 1; p <= 3; ++p) {
+      const auto reference = sg::local_search_kmedian(instance, p);
+      sg::FastKMedianOptions options;
+      options.p = p;
+      const auto fast = sg::fast_kmedian(instance, options);
+      EXPECT_EQ(fast.medians, reference.medians)
+          << "seed " << seed << " p " << p << ": median sets diverged";
+      EXPECT_EQ(fast.cost, reference.cost)
+          << "seed " << seed << " p " << p << ": costs diverged";
+    }
+  }
+}
+
+// --- The 3 + 2/p bound against the exhaustive optimum on <= 8x8
+// --- instances, for both swap policies.
+
+TEST(FastKMedianBound, WithinPaperBoundAcross50Seeds) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    sc::Pcg32 rng(2000 + seed);
+    const std::size_t n = 6 + rng.next_below(3);  // 6..8
+    const auto m = random_metric(n, rng);
+    const std::size_t k = 2 + seed % 3;
+    if (k >= n) continue;
+    auto instance = make_instance(m, k);
+    const auto exact = sg::exhaustive_kmedian(instance);
+    ASSERT_GT(exact.cost, 0.0);
+    for (std::size_t p = 1; p <= 2; ++p) {
+      const double bound = 3.0 + 2.0 / static_cast<double>(p);
+      for (const sg::SwapPolicy policy :
+           {sg::SwapPolicy::kFirstImprovement, sg::SwapPolicy::kBestImprovement}) {
+        sg::FastKMedianOptions options;
+        options.p = p;
+        options.policy = policy;
+        const auto fast = sg::fast_kmedian(instance, options);
+        EXPECT_LE(fast.cost, bound * exact.cost + 1e-9)
+            << "seed " << seed << " p " << p << ": ratio " << fast.cost / exact.cost;
+        EXPECT_GE(fast.cost, exact.cost - 1e-9);  // cannot beat the optimum
+      }
+    }
+  }
+}
+
+// --- Parallel sweeps: byte-identical across pool sizes 1/2/8.
+
+TEST(FastKMedianDeterminism, PoolSizesAgreeBitwise) {
+  sc::ThreadPool pool1(1);
+  sc::ThreadPool pool2(2);
+  sc::ThreadPool pool8(8);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sc::Pcg32 rng(3000 + seed);
+    const auto m = random_metric(30, rng);
+    auto instance = make_instance(m, 4);
+    for (const sg::SwapPolicy policy :
+         {sg::SwapPolicy::kFirstImprovement, sg::SwapPolicy::kBestImprovement}) {
+      sg::FastKMedianOptions options;
+      options.policy = policy;
+      options.shard_size = 4;  // force many shards even on small instances
+      const auto serial = sg::fast_kmedian(instance, options);
+      for (sc::ThreadPool* pool : {&pool1, &pool2, &pool8}) {
+        options.pool = pool;
+        const auto parallel = sg::fast_kmedian(instance, options);
+        EXPECT_EQ(parallel.medians, serial.medians) << "seed " << seed;
+        EXPECT_EQ(parallel.cost, serial.cost) << "seed " << seed;
+        EXPECT_EQ(parallel.evaluations, serial.evaluations) << "seed " << seed;
+      }
+      options.pool = nullptr;
+    }
+  }
+}
+
+TEST(FastKMedianDeterminism, PlannerRowsAgreeAcrossPoolSizesPristineAndFaulted) {
+  const topo::Topology& topology = small_fat_tree();
+  sc::ThreadPool pool2(2);
+  sc::ThreadPool pool8(8);
+
+  // Pristine fabric: sharded rows must equal the serial Dijkstra sweep bit
+  // for bit (same per-row computation, different shard ownership only) and
+  // the Floyd–Warshall reference up to FP summation order.
+  const core::KMedianPlanner serial(topology);
+  const core::KMedianPlanner reference(topology, /*use_floyd_warshall=*/true);
+  for (sc::ThreadPool* pool : {&pool2, &pool8}) {
+    core::KMedianPlannerOptions options;
+    options.pool = pool;
+    const core::KMedianPlanner sharded(topology, options);
+    for (topo::RackId r = 0; r < topology.rack_count(); ++r) {
+      for (topo::RackId c = 0; c < topology.rack_count(); ++c) {
+        EXPECT_EQ(sharded.rack_distances().at(r, c), serial.rack_distances().at(r, c));
+        EXPECT_NEAR(sharded.rack_distances().at(r, c), reference.rack_distances().at(r, c),
+                    1e-9);
+      }
+    }
+  }
+
+  // Faulted fabric: kill one ToR; rows and the facility set must still be
+  // pool-size independent.
+  topo::LivenessMask mask(topology);
+  mask.set_node(topology.rack(1).tor, false);
+  core::KMedianPlannerOptions serial_options;
+  serial_options.liveness = &mask;
+  const core::KMedianPlanner faulted_serial(topology, serial_options);
+  EXPECT_EQ(faulted_serial.facility_racks().size(), topology.rack_count() - 1);
+  for (sc::ThreadPool* pool : {&pool2, &pool8}) {
+    core::KMedianPlannerOptions options;
+    options.pool = pool;
+    options.liveness = &mask;
+    const core::KMedianPlanner sharded(topology, options);
+    EXPECT_EQ(sharded.facility_racks(), faulted_serial.facility_racks());
+    for (topo::RackId r = 0; r < topology.rack_count(); ++r) {
+      for (topo::RackId c = 0; c < topology.rack_count(); ++c) {
+        EXPECT_EQ(sharded.rack_distances().at(r, c), faulted_serial.rack_distances().at(r, c));
+      }
+    }
+  }
+}
+
+// --- max_evaluations safety cap.
+
+TEST(FastKMedianCap, ReferenceSolverStopsExactlyAtCap) {
+  sc::Pcg32 rng(4000);
+  const auto m = random_metric(16, rng);
+  auto instance = make_instance(m, 4);
+  const auto unlimited = sg::local_search_kmedian(instance, 2);
+  ASSERT_GT(unlimited.evaluations, 20u);
+  instance.max_evaluations = 20;
+  const auto capped = sg::local_search_kmedian(instance, 2);
+  EXPECT_TRUE(capped.hit_evaluation_cap);
+  EXPECT_LE(capped.evaluations, 20u);
+  EXPECT_FALSE(unlimited.hit_evaluation_cap);
+  // A capped run never returns worse than its own start, and never better
+  // than the full search.
+  EXPECT_GE(capped.cost, unlimited.cost - 1e-9);
+}
+
+TEST(FastKMedianCap, FastSolverOvershootsByAtMostOneSweep) {
+  sc::Pcg32 rng(4001);
+  const auto m = random_metric(16, rng);
+  auto instance = make_instance(m, 4);
+  const auto unlimited = sg::fast_kmedian(instance);
+  ASSERT_GT(unlimited.evaluations, 30u);
+  EXPECT_FALSE(unlimited.hit_evaluation_cap);
+  instance.max_evaluations = 30;
+  const auto capped = sg::fast_kmedian(instance);
+  EXPECT_TRUE(capped.hit_evaluation_cap);
+  // Sweep granularity: at most one extra sweep of k * (|F| - k) candidates.
+  const std::size_t sweep = instance.k * (instance.facilities.size() - instance.k);
+  EXPECT_LE(capped.evaluations, 30u + sweep);
+}
+
+// --- Planner refresh semantics: version-gated rebuilds.
+
+TEST(KMedianPlannerRefresh, RebuildsOnlyWhenMaskVersionMoves) {
+  const topo::Topology& topology = small_fat_tree();
+  topo::LivenessMask mask(topology);
+  core::KMedianPlannerOptions options;
+  options.liveness = &mask;
+  core::KMedianPlanner planner(topology, options);
+  EXPECT_EQ(planner.rebuilds(), 1u);  // the constructor's initial build
+  EXPECT_FALSE(planner.refresh());    // mask unchanged: no rebuild
+  EXPECT_EQ(planner.rebuilds(), 1u);
+
+  mask.set_node(topology.rack(0).tor, false);
+  EXPECT_TRUE(planner.refresh());
+  EXPECT_EQ(planner.rebuilds(), 2u);
+  EXPECT_EQ(planner.facility_racks().size(), topology.rack_count() - 1);
+  EXPECT_FALSE(planner.refresh());  // already caught up
+
+  mask.set_node(topology.rack(0).tor, true);
+  EXPECT_TRUE(planner.refresh());
+  EXPECT_EQ(planner.facility_racks().size(), topology.rack_count());
+
+  // A planner without a mask never rebuilds (the topology is immutable);
+  // rebuild() stays available for the naive benchmarking path.
+  core::KMedianPlanner unmasked(topology);
+  EXPECT_FALSE(unmasked.refresh());
+  EXPECT_EQ(unmasked.rebuilds(), 1u);
+  unmasked.rebuild();
+  EXPECT_EQ(unmasked.rebuilds(), 2u);
+}
+
+// --- Engine-level differential: the kKMedian manage phase picks the same
+// --- moves with the fast solver as with the naive rebuild + reference scan.
+
+TEST(EngineKMedian, FastAndNaiveRoundsAgree) {
+  wl::DeploymentOptions deployment;
+  deployment.seed = 2015;
+  deployment.vms_per_host = 3.0;
+
+  core::EngineConfig fast_config;
+  fast_config.mode = core::ManagerMode::kKMedian;
+  fast_config.parallel_collect = false;
+
+  // Flip the solver and the pure-caching switches only: the cost-rooting
+  // modes (partner_rooted_costs, shared_leaf_cost_trees) are equal-cost
+  // but not bit-identical, so they stay the same on both engines.
+  core::EngineConfig naive_config = fast_config;
+  naive_config.incremental_fair_share = false;
+  naive_config.route_cache = false;
+  naive_config.retain_cost_trees = false;
+  naive_config.fast_kmedian = false;
+
+  core::DistributedEngine fast_engine(small_fat_tree(), deployment, fast_config);
+  core::DistributedEngine naive_engine(small_fat_tree(), deployment, naive_config);
+  const auto fast_metrics = fast_engine.run(8);
+  const auto naive_metrics = naive_engine.run(8);
+  ASSERT_EQ(fast_metrics.size(), naive_metrics.size());
+  for (std::size_t r = 0; r < fast_metrics.size(); ++r) {
+    EXPECT_EQ(fast_metrics[r].migrations, naive_metrics[r].migrations) << "round " << r;
+    EXPECT_EQ(fast_metrics[r].host_alerts, naive_metrics[r].host_alerts) << "round " << r;
+    // search_space is intentionally not compared: the fast solver counts
+    // candidate evaluations at sweep granularity while the reference scan
+    // counts per candidate, so the totals differ even though the swap
+    // trajectory (and therefore every migration) is identical.
+  }
+  // Both engines must land every VM on the same host.
+  const auto& fd = fast_engine.deployment();
+  const auto& nd = naive_engine.deployment();
+  ASSERT_EQ(fd.vm_count(), nd.vm_count());
+  for (wl::VmId vm = 0; vm < fd.vm_count(); ++vm) {
+    EXPECT_EQ(fd.vm(vm).host, nd.vm(vm).host) << "vm " << vm;
+  }
+}

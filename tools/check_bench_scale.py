@@ -3,17 +3,24 @@
 
 Compares a freshly produced BENCH_scale.json against the committed baseline
 (bench/baselines/BENCH_scale_baseline.json). Only the naive-vs-optimized
-*speedup ratios* are compared — both runs execute on the same machine, so
-the ratio cancels out hardware speed and transfers across CI runners, while
-absolute rounds/sec would not.
+*ratios* are compared — both runs execute on the same machine, so the ratio
+cancels out hardware speed and transfers across CI runners, while absolute
+rounds/sec would not.
+
+Two ratios are gated per scenario:
+
+  speedup       end-to-end rounds/sec, optimized vs naive
+  manage_ratio  manage-phase wall time, naive vs optimized (schema v2)
 
 A scenario passes when
 
-    current_speedup >= max(min_speedup, baseline_speedup * (1 - tolerance))
+    current >= max(min_<ratio>, baseline_<ratio> * (1 - tolerance))
 
-where `min_speedup` is the per-scenario hard floor (3x on the k=16
-Fat-Tree, per the optimization's acceptance bar) and `tolerance` absorbs
-runner noise.
+where the per-scenario `min_*` values are hard floors (the optimization's
+acceptance bars) and `tolerance` absorbs runner noise. Baselines in the old
+baseline.v1 schema (no manage fields) and bench outputs in the old v1
+schema (no manage_ratio) are accepted — the manage gate is simply skipped,
+so the script stays usable against historical artifacts.
 
 Usage: check_bench_scale.py CURRENT_JSON [BASELINE_JSON]
 Exit status: 0 on pass, 1 on any violation or malformed input.
@@ -22,10 +29,27 @@ Exit status: 0 on pass, 1 on any violation or malformed input.
 import json
 import sys
 
+BENCH_SCHEMAS = ("sheriff.bench_scale.v1", "sheriff.bench_scale.v2")
+BASELINE_SCHEMAS = (
+    "sheriff.bench_scale.baseline.v1",
+    "sheriff.bench_scale.baseline.v2",
+)
+
 
 def fail(msg: str) -> None:
     print(f"check_bench_scale: FAIL: {msg}")
     sys.exit(1)
+
+
+def check_ratio(name, label, got, ref_value, ref_floor, tolerance, violations) -> None:
+    required = max(float(ref_floor), float(ref_value) * (1.0 - tolerance))
+    verdict = "ok" if got >= required else "REGRESSION"
+    print(
+        f"  {name}: {label} {got:.2f}x "
+        f"(baseline {float(ref_value):.2f}x, required >= {required:.2f}x) {verdict}"
+    )
+    if got < required:
+        violations.append(f"{name}: {label} {got:.2f}x below required {required:.2f}x")
 
 
 def main() -> None:
@@ -41,9 +65,9 @@ def main() -> None:
     with open(baseline_path, encoding="utf-8") as f:
         baseline = json.load(f)
 
-    if current.get("schema") != "sheriff.bench_scale.v1":
+    if current.get("schema") not in BENCH_SCHEMAS:
         fail(f"unexpected bench schema: {current.get('schema')!r}")
-    if baseline.get("schema") != "sheriff.bench_scale.baseline.v1":
+    if baseline.get("schema") not in BASELINE_SCHEMAS:
         fail(f"unexpected baseline schema: {baseline.get('schema')!r}")
 
     tolerance = float(baseline.get("tolerance", 0.5))
@@ -54,17 +78,23 @@ def main() -> None:
         if name not in measured:
             violations.append(f"scenario {name!r} missing from {current_path}")
             continue
-        got = float(measured[name]["speedup"])
-        required = max(float(ref["min_speedup"]), float(ref["speedup"]) * (1.0 - tolerance))
-        verdict = "ok" if got >= required else "REGRESSION"
-        print(
-            f"  {name}: speedup {got:.2f}x "
-            f"(baseline {ref['speedup']:.2f}x, required >= {required:.2f}x) {verdict}"
+        got = measured[name]
+        check_ratio(
+            name, "speedup", float(got["speedup"]), ref["speedup"], ref["min_speedup"],
+            tolerance, violations,
         )
-        if got < required:
+        if "min_manage_ratio" not in ref:
+            continue  # baseline.v1: no manage gate recorded
+        if "manage_ratio" not in got:
             violations.append(
-                f"{name}: speedup {got:.2f}x below required {required:.2f}x"
+                f"{name}: baseline gates manage_ratio but {current_path} has none "
+                "(bench output predates schema v2?)"
             )
+            continue
+        check_ratio(
+            name, "manage_ratio", float(got["manage_ratio"]), ref["manage_ratio"],
+            ref["min_manage_ratio"], tolerance, violations,
+        )
 
     for name in measured:
         if name not in baseline["scenarios"]:

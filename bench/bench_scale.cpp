@@ -55,7 +55,7 @@ struct ScenarioResult {
 };
 
 RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
-                     std::size_t* flows) {
+                     std::size_t* flows, const snapshot::CheckpointCli& checkpoints) {
   core::EngineConfig config;
   config.sheriff.cost.computing_cost = 100.0;  // Sec. VI-B settings
   config.mode = scenario.mode;
@@ -72,7 +72,8 @@ RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
 
   RunResult result;
   obs::Stopwatch watch;
-  engine.run(scenario.rounds);
+  bench::run_rounds(engine, scenario.rounds, checkpoints,
+                    scenario.name + (optimized ? ".opt" : ".naive"));
   result.seconds = watch.elapsed_seconds();
   result.rounds_per_sec = static_cast<double>(scenario.rounds) / result.seconds;
   result.phases = engine.phase_profile();
@@ -114,7 +115,13 @@ void emit_run(std::ostream& os, const RunResult& r, const char* name, bool optim
 }  // namespace
 
 int main(int argc, char** argv) {
+  const snapshot::CheckpointCli checkpoints = snapshot::parse_checkpoint_cli(argc, argv);
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+  if (checkpoints.checkpoint_every != 0 || !checkpoints.resume_path.empty()) {
+    std::cout << "WARNING: checkpoint flags active — timings (and the emitted JSON) are\n"
+              << "NOT comparable to baselines; run without --checkpoint-every/--resume\n"
+              << "for the CI ratio gate.\n";
+  }
   bench::print_figure_header(
       "Scale", "per-round hot path: naive recompute vs incremental/cached engine",
       "the optimized engine must clear 3x the naive rounds/sec on the k=16 "
@@ -153,10 +160,10 @@ int main(int argc, char** argv) {
     r.rounds = s.rounds;
     std::cout << "\n== " << s.name << " (" << r.nodes << " nodes, " << r.links
               << " links, " << s.rounds << " rounds) ==\n";
-    r.naive = run_engine(s, false, &r.vms, &r.flows);
+    r.naive = run_engine(s, false, &r.vms, &r.flows, checkpoints);
     std::cout << "  naive:     " << std::fixed << std::setprecision(2)
               << r.naive.rounds_per_sec << " rounds/s (" << r.naive.seconds << " s)\n";
-    r.optimized = run_engine(s, true, nullptr, nullptr);
+    r.optimized = run_engine(s, true, nullptr, nullptr, checkpoints);
     r.speedup = r.optimized.rounds_per_sec / r.naive.rounds_per_sec;
     r.manage_ratio = r.optimized.phases.manage_ns > 0
                          ? static_cast<double>(r.naive.phases.manage_ns) /

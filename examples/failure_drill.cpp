@@ -6,6 +6,10 @@
 // FaultPlan, so re-running the drill reproduces it byte for byte.
 //
 //   $ ./failure_drill [rounds] [metrics.csv]
+//
+// Checkpoint flags (see DESIGN.md §10): `--checkpoint-every N` drops a
+// snapshot every N rounds, `--resume <path>` picks the drill back up from
+// one — the resumed run finishes byte-identical to an uninterrupted one.
 
 #include <cstdlib>
 #include <fstream>
@@ -16,10 +20,13 @@
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
 #include "fault/fault_plan.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/checkpoint_cli.hpp"
 #include "topology/fat_tree.hpp"
 
 int main(int argc, char** argv) {
   using namespace sheriff;
+  const snapshot::CheckpointCli checkpoints = snapshot::parse_checkpoint_cli(argc, argv);
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 24;
 
   topo::FatTreeOptions topo_options;
@@ -55,11 +62,24 @@ int main(int argc, char** argv) {
   config.fault_plan = &plan;
   core::DistributedEngine engine(topology, deploy_options, config);
 
+  if (!checkpoints.resume_path.empty()) {
+    core::Checkpoint::load(engine, checkpoints.resume_path);
+    std::cout << "resumed from " << checkpoints.resume_path << " at round "
+              << engine.rounds_run() << "\n\n";
+  }
+
   common::Table table({"round", "dead links", "dead switches", "orphans", "recovered",
                        "unroutable", "drops", "retries", "migrations", "stddev %"});
   std::vector<core::RoundMetrics> all_metrics;
-  for (int r = 0; r < rounds; ++r) {
+  while (engine.rounds_run() < static_cast<std::size_t>(rounds)) {
     const auto m = engine.run_round();
+    if (checkpoints.checkpoint_every != 0 &&
+        engine.rounds_run() % checkpoints.checkpoint_every == 0 &&
+        engine.rounds_run() < static_cast<std::size_t>(rounds)) {
+      const std::string path = snapshot::checkpoint_path(checkpoints, engine.rounds_run());
+      core::Checkpoint::save(engine, path);
+      std::cout << "checkpoint saved to " << path << "\n";
+    }
     all_metrics.push_back(m);
     table.begin_row()
         .add(m.round)

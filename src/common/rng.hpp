@@ -84,6 +84,30 @@ class Pcg32 {
   /// (e.g. each VM's trace) its own generator from one master seed.
   Pcg32 split() noexcept { return Pcg32(next_u32() | (std::uint64_t{next_u32()} << 32U), inc_ + 2U); }
 
+  /// Complete generator state for checkpoint/restore. Includes the
+  /// Box–Muller cache: normal() banks its second deviate, so a generator
+  /// that produced an odd number of normals is NOT reproducible from
+  /// (state, inc) alone.
+  struct State {
+    std::uint64_t state = 0;
+    std::uint64_t inc = 0;
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return {state_, inc_, has_cached_normal_, cached_normal_};
+  }
+
+  /// Restores a state captured by state(): the restored generator's draw
+  /// sequence continues exactly where the captured one would have.
+  void restore(const State& s) noexcept {
+    state_ = s.state;
+    inc_ = s.inc;
+    has_cached_normal_ = s.has_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
+
  private:
   std::uint64_t state_;
   std::uint64_t inc_;

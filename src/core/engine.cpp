@@ -7,6 +7,8 @@
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/timing.hpp"
+#include "snapshot/archive.hpp"
+#include "snapshot/rng_io.hpp"
 
 namespace sheriff::core {
 
@@ -628,6 +630,355 @@ std::vector<RoundMetrics> DistributedEngine::run(std::size_t rounds) {
   out.reserve(rounds);
   for (std::size_t r = 0; r < rounds; ++r) out.push_back(run_round());
   return out;
+}
+
+// --- checkpoint/restore (DESIGN.md §10) -------------------------------------
+
+namespace {
+// Section schema versions. Bump a section's version whenever its payload
+// layout changes; load_state rejects skew loudly via expect_section.
+constexpr std::uint32_t kMetaVersion = 1;
+constexpr std::uint32_t kDeploymentVersion = 1;
+constexpr std::uint32_t kFlowVersion = 1;
+constexpr std::uint32_t kFaultVersion = 1;
+constexpr std::uint32_t kFairShareVersion = 1;
+constexpr std::uint32_t kQueueVersion = 1;
+constexpr std::uint32_t kPredictVersion = 1;
+constexpr std::uint32_t kShimVersion = 1;
+constexpr std::uint32_t kObsVersion = 1;
+
+void put_holt_scalar(snapshot::Writer& writer, const HoltScalar& scalar) {
+  const HoltScalar::State s = scalar.state();
+  writer.put_f64(s.level);
+  writer.put_f64(s.trend);
+  writer.put_u64(s.observations);
+}
+
+/// load_state failure policy: every mismatch or corrupt payload throws
+/// SnapshotError, matching the archive layer — callers (Checkpoint, the
+/// bench resume probe) catch one exception type for "this file cannot be
+/// loaded here".
+void check_load(bool ok, const std::string& what) {
+  if (!ok) throw snapshot::SnapshotError(what);
+}
+
+void get_holt_scalar(snapshot::Reader& reader, HoltScalar& scalar) {
+  HoltScalar::State s;
+  s.level = reader.get_f64();
+  s.trend = reader.get_f64();
+  s.observations = reader.get_u64();
+  scalar.restore(s);
+}
+}  // namespace
+
+void DistributedEngine::save_state(snapshot::Writer& writer) const {
+  // META: run position + a structural fingerprint so a checkpoint can only
+  // be loaded into an engine built over the same inputs.
+  writer.begin_section("META", kMetaVersion);
+  writer.put_u64(round_);
+  writer.put_u64(topo_->node_count());
+  writer.put_u64(topo_->link_count());
+  writer.put_u64(topo_->rack_count());
+  writer.put_u64(deployment_.vm_count());
+  writer.put_u64(flows_.size());
+  writer.put_u8(static_cast<std::uint8_t>(config_.mode));
+  writer.put_u8(static_cast<std::uint8_t>(config_.protocol));
+  writer.put_u8(static_cast<std::uint8_t>(config_.predictor));
+  writer.put_bool(config_.incremental_fair_share);
+  writer.put_bool(injector_ != nullptr);
+  writer.put_bool(channel_ != nullptr);
+  writer.put_bool(kmedian_manager_ != nullptr);
+  writer.put_bool(hub_ != nullptr);
+  writer.put_bool(hub_ != nullptr && hub_->auditor() != nullptr);
+  writer.end_section();
+
+  writer.begin_section("DEPL", kDeploymentVersion);
+  deployment_.save_state(writer);
+  writer.end_section();
+
+  // FLOW: the mutable half of the flow table. Ids, delay sensitivity, and
+  // the owner/peer maps are constructor-derived from the dependency graph.
+  writer.begin_section("FLOW", kFlowVersion);
+  writer.put_u64(flows_.size());
+  for (const net::Flow& flow : flows_) {
+    writer.put_u32(flow.src_host);
+    writer.put_u32(flow.dst_host);
+    writer.put_f64(flow.demand_gbps);
+    writer.put_u8(static_cast<std::uint8_t>(flow.dscp));
+    writer.put_u32v(flow.path);
+    writer.put_f64(flow.allocated_gbps);
+    writer.put_f64(flow.rate_limit_gbps);
+  }
+  writer.end_section();
+
+  // FALT: only the lossy channel's stream state travels in the archive —
+  // the injector itself is reconstructed by replaying its (deterministic)
+  // plan up to `round_` at load time.
+  writer.begin_section("FALT", kFaultVersion);
+  writer.put_bool(channel_ != nullptr);
+  if (channel_ != nullptr) {
+    const fault::LossyChannel::State s = channel_->state();
+    writer.put_u64(s.rng.state);
+    writer.put_u64(s.rng.inc);
+    writer.put_bool(s.rng.has_cached_normal);
+    writer.put_f64(s.rng.cached_normal);
+    writer.put_u64(s.drops);
+  }
+  writer.end_section();
+
+  writer.begin_section("FAIR", kFairShareVersion);
+  solver_.save_state(writer);
+  writer.end_section();
+
+  writer.begin_section("QUEU", kQueueVersion);
+  queues_.save_state(writer);
+  rate_controller_.save_state(writer);
+  writer.end_section();
+
+  writer.begin_section("PRED", kPredictVersion);
+  writer.put_u64(predictors_.size());
+  for (const auto& predictor : predictors_) predictor->save_state(writer);
+  writer.put_u64(predicted_.size());
+  for (const wl::WorkloadProfile& profile : predicted_) {
+    for (double v : profile.values) writer.put_f64(v);
+  }
+  writer.put_u64(tor_utilization_predictors_.size());
+  for (const HoltScalar& s : tor_utilization_predictors_) put_holt_scalar(writer, s);
+  for (const HoltScalar& s : tor_queue_predictors_) put_holt_scalar(writer, s);
+  writer.end_section();
+
+  writer.begin_section("SHIM", kShimVersion);
+  writer.put_u64(shims_.size());
+  for (const ShimController& shim : shims_) shim.save_state(writer);
+  writer.end_section();
+
+  // OBSR: registry contents, auditor tallies, trace rings. Saved last and
+  // restored last, so anything load-time replay emits is overwritten.
+  writer.begin_section("OBSR", kObsVersion);
+  writer.put_bool(hub_ != nullptr);
+  if (hub_ != nullptr) {
+    const obs::MetricRegistry& registry = hub_->registry();
+    std::size_t counters = 0;
+    std::size_t gauges = 0;
+    std::size_t histograms = 0;
+    registry.for_each_counter([&](const std::string&, const obs::Counter&) { ++counters; });
+    registry.for_each_gauge([&](const std::string&, const obs::Gauge&) { ++gauges; });
+    registry.for_each_histogram([&](const std::string&, const obs::Histogram&) { ++histograms; });
+    writer.put_u64(counters);
+    registry.for_each_counter([&](const std::string& name, const obs::Counter& c) {
+      writer.put_str(name);
+      writer.put_u64(c.value());
+    });
+    writer.put_u64(gauges);
+    registry.for_each_gauge([&](const std::string& name, const obs::Gauge& g) {
+      writer.put_str(name);
+      writer.put_f64(g.value());
+    });
+    writer.put_u64(histograms);
+    registry.for_each_histogram([&](const std::string& name, const obs::Histogram& h) {
+      writer.put_str(name);
+      writer.put_f64v(h.bounds());
+      writer.put_u64v(h.counts());
+      writer.put_u64(h.total());
+      writer.put_f64(h.sum());
+    });
+
+    const obs::EventTrace& trace = hub_->trace();
+    writer.put_u64(trace.ring_count());
+    for (std::size_t r = 0; r < trace.ring_count(); ++r) {
+      const obs::EventTrace::RingView ring = trace.ring_view(r);
+      writer.put_u64(ring.slots.size());
+      for (const obs::TraceRecord& record : ring.slots) {
+        writer.put_u64(record.seq);
+        writer.put_u32(record.round);
+        writer.put_u32(record.shim);
+        writer.put_u8(static_cast<std::uint8_t>(record.type));
+        writer.put_u32(record.a);
+        writer.put_u32(record.b);
+        writer.put_f64(record.value);
+      }
+      writer.put_u64(ring.head);
+      writer.put_u64(ring.emitted);
+      writer.put_u64(ring.dropped);
+    }
+    writer.put_u64(trace.next_seq());
+    writer.put_u32(trace.round());
+
+    writer.put_bool(hub_->auditor() != nullptr);
+    if (hub_->auditor() != nullptr) hub_->auditor()->save_state(writer);
+  }
+  writer.end_section();
+}
+
+void DistributedEngine::load_state(snapshot::Reader& reader) {
+  reader.expect_section("META", kMetaVersion);
+  const std::uint64_t saved_round = reader.get_u64();
+  check_load(reader.get_u64() == topo_->node_count() &&
+                      reader.get_u64() == topo_->link_count() &&
+                      reader.get_u64() == topo_->rack_count(),
+                  "checkpoint was taken over a different topology");
+  check_load(reader.get_u64() == deployment_.vm_count(),
+                  "checkpoint was taken over a different VM population");
+  check_load(reader.get_u64() == flows_.size(),
+                  "checkpoint was taken over a different flow table");
+  check_load(reader.get_u8() == static_cast<std::uint8_t>(config_.mode) &&
+                      reader.get_u8() == static_cast<std::uint8_t>(config_.protocol) &&
+                      reader.get_u8() == static_cast<std::uint8_t>(config_.predictor) &&
+                      reader.get_bool() == config_.incremental_fair_share,
+                  "checkpoint was taken under a different engine configuration");
+  check_load(reader.get_bool() == (injector_ != nullptr) &&
+                      reader.get_bool() == (channel_ != nullptr) &&
+                      reader.get_bool() == (kmedian_manager_ != nullptr),
+                  "checkpoint was taken under a different fault/manager setup");
+  check_load(reader.get_bool() == (hub_ != nullptr) &&
+                      reader.get_bool() == (hub_ != nullptr && hub_->auditor() != nullptr),
+                  "checkpoint was taken under a different observability setup");
+  reader.leave_section();
+  round_ = saved_round;
+
+  reader.expect_section("DEPL", kDeploymentVersion);
+  deployment_.load_state(reader);
+  reader.leave_section();
+
+  reader.expect_section("FLOW", kFlowVersion);
+  const std::uint64_t flow_count = reader.get_u64();
+  check_load(flow_count == flows_.size(), "corrupt flow section");
+  for (net::Flow& flow : flows_) {
+    flow.src_host = reader.get_u32();
+    flow.dst_host = reader.get_u32();
+    flow.demand_gbps = reader.get_f64();
+    flow.dscp = static_cast<net::DscpMark>(reader.get_u8());
+    flow.path = reader.get_u32v();
+    flow.allocated_gbps = reader.get_f64();
+    flow.rate_limit_gbps = reader.get_f64();
+  }
+  reader.leave_section();
+
+  reader.expect_section("FALT", kFaultVersion);
+  const bool archived_channel = reader.get_bool();
+  check_load(archived_channel == (channel_ != nullptr), "corrupt fault section");
+  if (channel_ != nullptr) {
+    fault::LossyChannel::State s;
+    s.rng.state = reader.get_u64();
+    s.rng.inc = reader.get_u64();
+    s.rng.has_cached_normal = reader.get_bool();
+    s.rng.cached_normal = reader.get_f64();
+    s.drops = reader.get_u64();
+    channel_->restore(s);
+  }
+  reader.leave_section();
+  if (injector_ != nullptr) {
+    // Replay the plan up to the saved round with the trace detached: the
+    // LivenessMask (version counter included) and shim availability land
+    // exactly where the saved run left them, without duplicate trace
+    // events — the OBSR restore below carries the authoritative rings.
+    injector_->set_trace(nullptr);
+    for (std::size_t r = 0; r < saved_round; ++r) (void)injector_->advance(r);
+    if (hub_ != nullptr) injector_->set_trace(&hub_->trace());
+    router_.refresh_liveness();
+    recompute_takeovers();
+  }
+
+  reader.expect_section("FAIR", kFairShareVersion);
+  solver_.load_state(reader, injector_ != nullptr ? &injector_->liveness() : nullptr);
+  reader.leave_section();
+
+  reader.expect_section("QUEU", kQueueVersion);
+  queues_.load_state(reader);
+  rate_controller_.load_state(reader);
+  reader.leave_section();
+
+  reader.expect_section("PRED", kPredictVersion);
+  check_load(reader.get_u64() == predictors_.size(), "corrupt predictor section");
+  for (const auto& predictor : predictors_) predictor->load_state(reader);
+  check_load(reader.get_u64() == predicted_.size(), "corrupt predictor section");
+  for (wl::WorkloadProfile& profile : predicted_) {
+    for (double& v : profile.values) v = reader.get_f64();
+  }
+  check_load(reader.get_u64() == tor_utilization_predictors_.size(),
+                  "corrupt ToR predictor section");
+  for (HoltScalar& s : tor_utilization_predictors_) get_holt_scalar(reader, s);
+  for (HoltScalar& s : tor_queue_predictors_) get_holt_scalar(reader, s);
+  reader.leave_section();
+
+  reader.expect_section("SHIM", kShimVersion);
+  check_load(reader.get_u64() == shims_.size(), "corrupt shim section");
+  for (ShimController& shim : shims_) shim.load_state(reader);
+  reader.leave_section();
+
+  reader.expect_section("OBSR", kObsVersion);
+  const bool archived_hub = reader.get_bool();
+  check_load(archived_hub == (hub_ != nullptr), "corrupt observability section");
+  if (hub_ != nullptr) {
+    obs::MetricRegistry& registry = hub_->registry();
+    const std::uint64_t counters = reader.counted(16);
+    for (std::uint64_t i = 0; i < counters; ++i) {
+      const std::string name = reader.get_str();
+      obs::Counter& c = registry.counter(name);
+      c.reset();
+      c.add(reader.get_u64());
+    }
+    const std::uint64_t gauges = reader.counted(16);
+    for (std::uint64_t i = 0; i < gauges; ++i) {
+      const std::string name = reader.get_str();
+      registry.gauge(name).set(reader.get_f64());
+    }
+    const std::uint64_t histograms = reader.counted(16);
+    for (std::uint64_t i = 0; i < histograms; ++i) {
+      const std::string name = reader.get_str();
+      std::vector<double> bounds = reader.get_f64v();
+      std::vector<std::uint64_t> counts = reader.get_u64v();
+      const std::uint64_t total = reader.get_u64();
+      const double sum = reader.get_f64();
+      obs::Histogram& h = registry.histogram(name, std::move(bounds));
+      check_load(h.restore(std::move(counts), total, sum),
+                      "checkpoint histogram '" + name + "' does not match this build's buckets");
+    }
+
+    obs::EventTrace& trace = hub_->trace();
+    check_load(reader.get_u64() == trace.ring_count(), "corrupt trace section");
+    for (std::size_t r = 0; r < trace.ring_count(); ++r) {
+      const std::uint64_t slot_count = reader.counted(33);
+      check_load(slot_count <= trace.capacity_per_shim(),
+                      "checkpoint trace ring exceeds this build's capacity");
+      std::vector<obs::TraceRecord> slots;
+      slots.reserve(slot_count);
+      for (std::uint64_t i = 0; i < slot_count; ++i) {
+        obs::TraceRecord record;
+        record.seq = reader.get_u64();
+        record.round = reader.get_u32();
+        record.shim = reader.get_u32();
+        const std::uint8_t type = reader.get_u8();
+        check_load(type < obs::kEventTypeCount, "corrupt trace record type");
+        record.type = static_cast<obs::EventType>(type);
+        record.a = reader.get_u32();
+        record.b = reader.get_u32();
+        record.value = reader.get_f64();
+        slots.push_back(record);
+      }
+      const std::uint64_t head = reader.get_u64();
+      const std::uint64_t emitted = reader.get_u64();
+      const std::uint64_t dropped = reader.get_u64();
+      trace.restore_ring(r, std::move(slots), static_cast<std::size_t>(head), emitted, dropped);
+    }
+    trace.set_next_seq(reader.get_u64());
+    trace.set_round(reader.get_u32());
+
+    const bool archived_auditor = reader.get_bool();
+    check_load(archived_auditor == (hub_->auditor() != nullptr),
+                    "corrupt observability section");
+    if (hub_->auditor() != nullptr) hub_->auditor()->load_state(reader);
+  }
+  reader.leave_section();
+
+  // Delta-published k-median counters: re-baseline against the fresh
+  // planner/manager so the next publish adds only post-resume activity.
+  // (The fresh planner's construction rebuild makes kmedian.planner_rebuilds
+  // the one registry counter that may run +1 ahead after a resume.)
+  if (kmedian_manager_ != nullptr) {
+    published_kmedian_stats_ = kmedian_manager_->stats();
+    published_planner_rebuilds_ = kmedian_planner_->rebuilds();
+  }
 }
 
 }  // namespace sheriff::core

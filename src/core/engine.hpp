@@ -205,6 +205,20 @@ class DistributedEngine {
   /// own shim is down), or topo::kInvalidRack when nobody can take over.
   [[nodiscard]] topo::RackId managing_rack(topo::RackId rack) const;
 
+  /// Checkpoint hooks (see DESIGN.md §10). save_state serializes every
+  /// piece of mutable cross-round state; load_state expects a freshly
+  /// constructed engine over the *same* (topology, deployment options,
+  /// config) — constructor-derived structure (VM population, dependency
+  /// graph, flow table shape, shims) is validated via a fingerprint, not
+  /// serialized. Caches (router trees/paths, cost-model Dijkstra trees)
+  /// resume cold: they are rebuilt on demand and never change results.
+  /// The fault injector is restored by replaying its plan up to the saved
+  /// round (trace-detached), which reproduces the LivenessMask bit for bit
+  /// including its version counter. After load_state, run_round() continues
+  /// the run bit-identically to one that never stopped.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
  private:
   void build_flows();
   void update_flow_demands();

@@ -4,6 +4,7 @@
 
 #include "common/math_util.hpp"
 #include "common/require.hpp"
+#include "snapshot/archive.hpp"
 
 namespace sheriff::core {
 
@@ -97,6 +98,57 @@ std::string EnsembleProfilePredictor::current_model(wl::Feature feature) const {
   SHERIFF_REQUIRE(fitted_, "current_model() before the first fit");
   const auto f = static_cast<std::size_t>(feature);
   return selectors_[f]->model_name(selectors_[f]->best_model());
+}
+
+void NaiveProfilePredictor::save_state(snapshot::Writer& writer) const {
+  for (double v : last_.values) writer.put_f64(v);
+  writer.put_bool(seen_);
+}
+
+void NaiveProfilePredictor::load_state(snapshot::Reader& reader) {
+  for (double& v : last_.values) v = reader.get_f64();
+  seen_ = reader.get_bool();
+}
+
+void HoltProfilePredictor::save_state(snapshot::Writer& writer) const {
+  for (std::size_t f = 0; f < wl::kFeatureCount; ++f) {
+    writer.put_f64(level_[f]);
+    writer.put_f64(trend_[f]);
+  }
+  writer.put_u64(observations_);
+}
+
+void HoltProfilePredictor::load_state(snapshot::Reader& reader) {
+  for (std::size_t f = 0; f < wl::kFeatureCount; ++f) {
+    level_[f] = reader.get_f64();
+    trend_[f] = reader.get_f64();
+  }
+  observations_ = reader.get_u64();
+}
+
+void EnsembleProfilePredictor::save_state(snapshot::Writer& writer) const {
+  writer.put_bool(fitted_);
+  writer.put_u64(since_refit_);
+  for (std::size_t f = 0; f < wl::kFeatureCount; ++f) {
+    writer.put_f64v(history_[f]);
+    if (fitted_) selectors_[f]->save_state(writer);
+  }
+}
+
+void EnsembleProfilePredictor::load_state(snapshot::Reader& reader) {
+  fitted_ = reader.get_bool();
+  since_refit_ = reader.get_u64();
+  for (std::size_t f = 0; f < wl::kFeatureCount; ++f) {
+    history_[f] = reader.get_f64v();
+    if (fitted_) {
+      // Selectors exist only after the first refit; rebuild the candidate
+      // set (same shapes and seeds) and restore its fitted parameters.
+      selectors_[f] = make_selector();
+      selectors_[f]->load_state(reader);
+    } else {
+      selectors_[f].reset();
+    }
+  }
 }
 
 }  // namespace sheriff::core

@@ -14,6 +14,7 @@
 // predictions.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,10 @@ class ProfilePredictor {
   [[nodiscard]] virtual wl::WorkloadProfile predict(std::size_t horizon) const = 0;
   /// True once enough history has accumulated to predict.
   [[nodiscard]] virtual bool ready() const = 0;
+  /// Checkpoint hooks: the observation-driven state (histories, smoothing
+  /// state, fitted models). load_state assumes a same-options target.
+  virtual void save_state(snapshot::Writer& writer) const = 0;
+  virtual void load_state(snapshot::Reader& reader) = 0;
 };
 
 /// Scalar Holt smoothing (level + trend) for single signals like a ToR's
@@ -59,6 +64,19 @@ class HoltScalar {
     return ready() ? level_ + static_cast<double>(horizon) * trend_ : level_;
   }
 
+  /// Checkpointable smoothing state (gains stay with the constructor).
+  struct State {
+    double level = 0.0;
+    double trend = 0.0;
+    std::uint64_t observations = 0;
+  };
+  [[nodiscard]] State state() const noexcept { return {level_, trend_, observations_}; }
+  void restore(const State& s) noexcept {
+    level_ = s.level;
+    trend_ = s.trend;
+    observations_ = static_cast<std::size_t>(s.observations);
+  }
+
  private:
   double level_gain_;
   double trend_gain_;
@@ -80,6 +98,8 @@ class NaiveProfilePredictor final : public ProfilePredictor {
     return last_;
   }
   [[nodiscard]] bool ready() const override { return seen_; }
+  void save_state(snapshot::Writer& writer) const override;
+  void load_state(snapshot::Reader& reader) override;
 
  private:
   wl::WorkloadProfile last_;
@@ -95,6 +115,8 @@ class HoltProfilePredictor final : public ProfilePredictor {
   void observe(const wl::WorkloadProfile& profile) override;
   [[nodiscard]] wl::WorkloadProfile predict(std::size_t horizon) const override;
   [[nodiscard]] bool ready() const override { return observations_ >= 2; }
+  void save_state(snapshot::Writer& writer) const override;
+  void load_state(snapshot::Reader& reader) override;
 
  private:
   double level_gain_;
@@ -126,6 +148,9 @@ class EnsembleProfilePredictor final : public ProfilePredictor {
 
   /// Which model the selector currently favors for a feature (diagnostics).
   [[nodiscard]] std::string current_model(wl::Feature feature) const;
+
+  void save_state(snapshot::Writer& writer) const override;
+  void load_state(snapshot::Reader& reader) override;
 
  private:
   void refit();

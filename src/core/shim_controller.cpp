@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "core/priority.hpp"
+#include "snapshot/archive.hpp"
 
 namespace sheriff::core {
 
@@ -269,6 +270,17 @@ ShimActResult ShimController::act(const ShimCollectResult& collected,
                                     migration_targets(deployment));
   }
   return result;
+}
+
+
+void ShimController::save_state(snapshot::Writer& writer) const {
+  writer.put_u64(pending_alerts_);
+  writer.put_u64(pending_reroutes_);
+}
+
+void ShimController::load_state(snapshot::Reader& reader) {
+  pending_alerts_ = reader.get_u64();
+  pending_reroutes_ = reader.get_u64();
 }
 
 }  // namespace sheriff::core

@@ -130,6 +130,11 @@ class ShimController {
   [[nodiscard]] std::vector<topo::NodeId> migration_targets(
       const wl::Deployment& deployment) const;
 
+  /// Checkpoint hooks: the pending metric tallies (everything else a shim
+  /// holds is constructor state or engine-attached pointers).
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
  private:
   /// Predicted load percent of a host from the predicted VM profiles.
   [[nodiscard]] double predicted_host_load_percent(

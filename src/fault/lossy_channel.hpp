@@ -33,6 +33,19 @@ class LossyChannel {
   [[nodiscard]] double drop_probability() const noexcept { return drop_probability_; }
   [[nodiscard]] std::size_t drops() const noexcept { return drops_; }
 
+  /// Checkpointable state: the Bernoulli stream position + loss tally.
+  /// (Plain accessors, not archive hooks, so this header stays free of the
+  /// snapshot dependency.)
+  struct State {
+    common::Pcg32::State rng;
+    std::uint64_t drops = 0;
+  };
+  [[nodiscard]] State state() const noexcept { return {rng_.state(), drops_}; }
+  void restore(const State& s) noexcept {
+    rng_.restore(s.rng);
+    drops_ = static_cast<std::size_t>(s.drops);
+  }
+
  private:
   double drop_probability_;
   common::Pcg32 rng_;

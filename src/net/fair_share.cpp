@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "obs/registry.hpp"
+#include "snapshot/archive.hpp"
 
 namespace sheriff::net {
 
@@ -352,6 +353,83 @@ void FairShareSolver::refill(std::span<Flow> flows) {
   for (topo::LinkId l : touched_links_) {
     result_.link_utilization[l] = result_.link_load_gbps[l] / topo_->link(l).capacity_gbps;
   }
+}
+
+void FairShareSolver::save_state(snapshot::Writer& writer) const {
+  writer.put_u64(stats_.solves);
+  writer.put_u64(stats_.full_rebuilds);
+  writer.put_u64(stats_.dirty_flows);
+  writer.put_u64(stats_.affected_flows);
+  writer.put_u64(stats_.reused_flows);
+  writer.put_bool(force_rebuild_);
+  const std::size_t n = cached_demand_.size();
+  writer.put_u64(n);
+  for (std::size_t f = 0; f < n; ++f) {
+    writer.put_u32v(cached_path_[f]);
+    writer.put_u32v(flow_links_[f]);
+    writer.put_f64(cached_demand_[f]);
+    writer.put_u8(static_cast<std::uint8_t>(participates_[f]));
+  }
+  writer.put_u64(link_flows_.size());
+  for (const auto& list : link_flows_) writer.put_u32v(list);
+  writer.put_u64(link_usable_.size());
+  for (char usable : link_usable_) writer.put_u8(static_cast<std::uint8_t>(usable));
+  writer.put_bool(had_liveness_);
+  writer.put_u64(liveness_version_);
+  writer.put_f64v(result_.flow_rate);
+  writer.put_f64v(result_.link_load_gbps);
+  writer.put_f64v(result_.link_offered_gbps);
+  writer.put_f64v(result_.link_utilization);
+}
+
+void FairShareSolver::load_state(snapshot::Reader& reader, const topo::LivenessMask* mask) {
+  stats_.solves = reader.get_u64();
+  stats_.full_rebuilds = reader.get_u64();
+  stats_.dirty_flows = reader.get_u64();
+  stats_.affected_flows = reader.get_u64();
+  stats_.reused_flows = reader.get_u64();
+  force_rebuild_ = reader.get_bool();
+  const std::uint64_t n = reader.get_u64();
+  cached_path_.assign(n, {});
+  flow_links_.assign(n, {});
+  cached_demand_.assign(n, 0.0);
+  participates_.assign(n, 0);
+  now_participates_.assign(n, 0);
+  for (std::uint64_t f = 0; f < n; ++f) {
+    cached_path_[f] = reader.get_u32v();
+    flow_links_[f] = reader.get_u32v();
+    cached_demand_[f] = reader.get_f64();
+    participates_[f] = static_cast<char>(reader.get_u8());
+  }
+  const std::uint64_t links = reader.get_u64();
+  SHERIFF_REQUIRE(links == topo_->link_count(),
+                  "checkpoint fair-share state does not match this topology");
+  link_flows_.assign(links, {});
+  for (auto& list : link_flows_) list = reader.get_u32v();
+  const std::uint64_t usable_entries = reader.get_u64();
+  SHERIFF_REQUIRE(usable_entries == links, "corrupt fair-share liveness bitmap");
+  link_usable_.assign(links, 1);
+  for (char& usable : link_usable_) usable = static_cast<char>(reader.get_u8());
+  had_liveness_ = reader.get_bool();
+  liveness_version_ = reader.get_u64();
+  last_mask_ = had_liveness_ ? mask : nullptr;
+  result_.flow_rate = reader.get_f64v();
+  result_.link_load_gbps = reader.get_f64v();
+  result_.link_offered_gbps = reader.get_f64v();
+  result_.link_utilization = reader.get_f64v();
+  // Epoch marks restart at zero: marks are only compared for equality with
+  // the current epoch, which solve() pre-increments, so no stale-mark hit
+  // is possible. Refill scratch is re-initialized per touched link.
+  epoch_ = 0;
+  flow_mark_.assign(n, 0);
+  link_mark_.assign(links, 0);
+  dirty_queue_.clear();
+  touched_links_.clear();
+  changed_links_.clear();
+  avail_.assign(links, 0.0);
+  active_on_link_.assign(links, 0);
+  active_.clear();
+  next_active_.clear();
 }
 
 void FairShareSolver::publish_metrics(obs::MetricRegistry& registry) const {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/flow.hpp"
+#include "snapshot/fwd.hpp"
 #include "topology/liveness.hpp"
 #include "topology/topology.hpp"
 
@@ -86,6 +87,18 @@ class FairShareSolver {
 
   /// Drops all cached state; the next solve() rebuilds from scratch.
   void invalidate();
+
+  /// Checkpoint hooks. The incremental state is serialized byte-exactly —
+  /// in particular link_flows_ ordering, which is history-dependent
+  /// (reindex_flow erases + appends) and drives the floating-point
+  /// summation order of refill(). Epoch marks and refill scratch are NOT
+  /// serialized: marks are only ever compared for equality against the
+  /// current epoch, so restarting at epoch 0 with zeroed marks is
+  /// behavior-identical. `mask` re-binds the liveness diffing pointer to
+  /// the mask the solver will be driven with after resume (nullptr when
+  /// the run has no fault plan).
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader, const topo::LivenessMask* mask);
 
  private:
   /// Re-resolves flow f's path into link ids and splices the raw

@@ -5,6 +5,7 @@
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/registry.hpp"
+#include "snapshot/archive.hpp"
 
 namespace sheriff::net {
 
@@ -117,6 +118,18 @@ void SwitchQueues::publish_metrics(obs::MetricRegistry& registry) const {
   registry.gauge("queueing.max_queue").set(max_queue);
   registry.gauge("queueing.total_queue").set(total_queue);
   registry.gauge("queueing.congested_switches").set(static_cast<double>(congested));
+}
+
+void SwitchQueues::save_state(snapshot::Writer& writer) const {
+  writer.put_f64v(queue_);
+  writer.put_f64v(prev_queue_);
+}
+
+void SwitchQueues::load_state(snapshot::Reader& reader) {
+  queue_ = reader.get_f64v();
+  prev_queue_ = reader.get_f64v();
+  SHERIFF_REQUIRE(queue_.size() == topo_->node_count() && prev_queue_.size() == topo_->node_count(),
+                  "checkpoint queue state does not match this topology");
 }
 
 }  // namespace sheriff::net

@@ -53,6 +53,10 @@ class SwitchQueues {
   /// every switch's queue length into a fixed-bucket depth histogram.
   void publish_metrics(obs::MetricRegistry& registry) const;
 
+  /// Checkpoint hooks: the two backlog vectors (current + previous tick).
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
+
  private:
   const topo::Topology* topo_;
   const topo::LivenessMask* liveness_ = nullptr;

@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "migration/live_migration.hpp"
+#include "snapshot/archive.hpp"
 
 namespace sheriff::obs {
 
@@ -257,6 +258,36 @@ void InvariantAuditor::check_deep_fair_share(const RoundInputs& in) {
                  " diverges from the from-scratch reference " + std::to_string(want));
     }
   }
+}
+
+void InvariantAuditor::save_state(snapshot::Writer& writer) const {
+  writer.put_u64(violations_);
+  writer.put_u64(rounds_audited_);
+  writer.put_u64(messages_.size());
+  for (const std::string& m : messages_) writer.put_str(m);
+  writer.put_bool(model_probed_);
+  writer.put_bool(have_solver_stats_);
+  writer.put_u64(last_solver_stats_.solves);
+  writer.put_u64(last_solver_stats_.full_rebuilds);
+  writer.put_u64(last_solver_stats_.dirty_flows);
+  writer.put_u64(last_solver_stats_.affected_flows);
+  writer.put_u64(last_solver_stats_.reused_flows);
+}
+
+void InvariantAuditor::load_state(snapshot::Reader& reader) {
+  violations_ = reader.get_u64();
+  rounds_audited_ = reader.get_u64();
+  const std::uint64_t message_count = reader.counted(8);
+  messages_.clear();
+  messages_.reserve(message_count);
+  for (std::uint64_t i = 0; i < message_count; ++i) messages_.push_back(reader.get_str());
+  model_probed_ = reader.get_bool();
+  have_solver_stats_ = reader.get_bool();
+  last_solver_stats_.solves = reader.get_u64();
+  last_solver_stats_.full_rebuilds = reader.get_u64();
+  last_solver_stats_.dirty_flows = reader.get_u64();
+  last_solver_stats_.affected_flows = reader.get_u64();
+  last_solver_stats_.reused_flows = reader.get_u64();
 }
 
 }  // namespace sheriff::obs

@@ -70,6 +70,16 @@ class Histogram {
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
 
+  /// Checkpoint restore; returns false (and leaves the histogram untouched)
+  /// when `counts` does not match this histogram's bucket layout.
+  bool restore(std::vector<std::uint64_t> counts, std::uint64_t total, double sum) {
+    if (counts.size() != counts_.size()) return false;
+    counts_ = std::move(counts);
+    total_ = total;
+    sum_ = sum;
+    return true;
+  }
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -133,6 +143,23 @@ class MetricRegistry {
 
   [[nodiscard]] std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // --- checkpoint state access ----------------------------------------------
+  // Name-sorted iteration (the maps are ordered), so serialized registries
+  // are deterministic. Restoring goes through the find-or-create accessors
+  // above; these visitors are the save side.
+  template <typename F>
+  void for_each_counter(F&& f) const {
+    for (const auto& [name, c] : counters_) f(name, *c);
+  }
+  template <typename F>
+  void for_each_gauge(F&& f) const {
+    for (const auto& [name, g] : gauges_) f(name, *g);
+  }
+  template <typename F>
+  void for_each_histogram(F&& f) const {
+    for (const auto& [name, h] : histograms_) f(name, *h);
   }
 
  private:

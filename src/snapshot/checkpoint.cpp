@@ -1,0 +1,50 @@
+#include "snapshot/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/engine.hpp"
+#include "snapshot/archive.hpp"
+
+namespace sheriff::core {
+
+std::vector<std::uint8_t> Checkpoint::serialize(const DistributedEngine& engine) {
+  snapshot::Writer writer;
+  engine.save_state(writer);
+  return writer.buffer();
+}
+
+void Checkpoint::deserialize(DistributedEngine& engine, std::vector<std::uint8_t> bytes) {
+  snapshot::Reader reader(std::move(bytes));
+  engine.load_state(reader);
+  if (!reader.at_end()) {
+    throw snapshot::SnapshotError("trailing bytes after the last checkpoint section");
+  }
+}
+
+void Checkpoint::save(const DistributedEngine& engine, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize(engine);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw snapshot::SnapshotError("cannot open checkpoint file for writing: " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    out.close();
+    std::remove(path.c_str());
+    throw snapshot::SnapshotError("short write to checkpoint file: " + path);
+  }
+}
+
+void Checkpoint::load(DistributedEngine& engine, const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw snapshot::SnapshotError("cannot open checkpoint file: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw snapshot::SnapshotError("short read from checkpoint file: " + path);
+  deserialize(engine, std::move(bytes));
+}
+
+}  // namespace sheriff::core

@@ -1,0 +1,9 @@
+#pragma once
+// Forward declarations of the snapshot archive types, so subsystem headers
+// can declare save_state()/load_state() hooks without pulling the full
+// archive implementation into every translation unit.
+
+namespace sheriff::snapshot {
+class Writer;
+class Reader;
+}  // namespace sheriff::snapshot

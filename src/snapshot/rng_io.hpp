@@ -1,0 +1,28 @@
+#pragma once
+// Archive helpers for common::Pcg32 state — every subsystem that owns a
+// generator (trace dynamics, the lossy channel, ...) serializes it the
+// same way: raw state + increment + the Box–Muller cache.
+
+#include "common/rng.hpp"
+#include "snapshot/archive.hpp"
+
+namespace sheriff::snapshot {
+
+inline void put_rng(Writer& writer, const common::Pcg32& rng) {
+  const common::Pcg32::State s = rng.state();
+  writer.put_u64(s.state);
+  writer.put_u64(s.inc);
+  writer.put_bool(s.has_cached_normal);
+  writer.put_f64(s.cached_normal);
+}
+
+inline void get_rng(Reader& reader, common::Pcg32& rng) {
+  common::Pcg32::State s;
+  s.state = reader.get_u64();
+  s.inc = reader.get_u64();
+  s.has_cached_normal = reader.get_bool();
+  s.cached_normal = reader.get_f64();
+  rng.restore(s);
+}
+
+}  // namespace sheriff::snapshot

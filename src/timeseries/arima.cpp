@@ -6,6 +6,7 @@
 
 #include "common/require.hpp"
 #include "common/stats.hpp"
+#include "snapshot/archive.hpp"
 #include "timeseries/optimize.hpp"
 #include "timeseries/series_ops.hpp"
 
@@ -327,6 +328,27 @@ std::vector<double> ArimaModel::one_step_predictions(std::span<const double> ser
   out.reserve(series.size() - start);
   for (std::size_t t = start; t < series.size(); ++t) out.push_back(series[t] - e[t - d]);
   return out;
+}
+
+
+void ArimaModel::save_state(snapshot::Writer& writer) const {
+  writer.put_f64v(phi_);
+  writer.put_f64v(theta_);
+  writer.put_f64(intercept_);
+  writer.put_f64(sigma2_);
+  writer.put_f64(css_);
+  writer.put_u64(effective_n_);
+  writer.put_bool(fitted_);
+}
+
+void ArimaModel::load_state(snapshot::Reader& reader) {
+  phi_ = reader.get_f64v();
+  theta_ = reader.get_f64v();
+  intercept_ = reader.get_f64();
+  sigma2_ = reader.get_f64();
+  css_ = reader.get_f64();
+  effective_n_ = reader.get_u64();
+  fitted_ = reader.get_bool();
 }
 
 }  // namespace sheriff::ts

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "snapshot/fwd.hpp"
+
 namespace sheriff::ts {
 
 struct ArimaOrder {
@@ -66,6 +68,12 @@ class ArimaModel {
   /// point given only earlier data. Used for rolling test evaluation.
   [[nodiscard]] std::vector<double> one_step_predictions(std::span<const double> series,
                                                          std::size_t start) const;
+
+  /// Checkpoint hooks: the fitted coefficients (order_ stays with the
+  /// constructor). Forecasting is a pure function of these + the history,
+  /// so a restored model forecasts bit-identically.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   /// CSS of params = [c, phi..., theta...] on differenced series `w`.

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/require.hpp"
+#include "snapshot/archive.hpp"
 #include "common/stats.hpp"
 
 namespace sheriff::ts {
@@ -97,6 +98,23 @@ std::vector<double> HoltWintersModel::forecast(std::span<const double> history,
 
 double HoltWintersModel::predict_next(std::span<const double> history) const {
   return forecast(history, 1).front();
+}
+
+
+void HoltWintersModel::save_state(snapshot::Writer& writer) const {
+  writer.put_f64(options_.level_gain);
+  writer.put_f64(options_.trend_gain);
+  writer.put_f64(options_.season_gain);
+  writer.put_f64(training_mse_);
+  writer.put_bool(fitted_);
+}
+
+void HoltWintersModel::load_state(snapshot::Reader& reader) {
+  options_.level_gain = reader.get_f64();
+  options_.trend_gain = reader.get_f64();
+  options_.season_gain = reader.get_f64();
+  training_mse_ = reader.get_f64();
+  fitted_ = reader.get_bool();
 }
 
 }  // namespace sheriff::ts

@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "snapshot/fwd.hpp"
+
 namespace sheriff::ts {
 
 class HoltWintersModel {
@@ -35,6 +37,12 @@ class HoltWintersModel {
   [[nodiscard]] std::vector<double> forecast(std::span<const double> history,
                                              std::size_t horizon) const;
   [[nodiscard]] double predict_next(std::span<const double> history) const;
+
+  /// Checkpoint hooks: the (possibly grid-tuned) gains + fit flag. The
+  /// forecast recursion re-runs over the caller's history, so no smoothing
+  /// state needs to survive.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct State {

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/require.hpp"
+#include "snapshot/archive.hpp"
 #include "timeseries/arima.hpp"
 #include "timeseries/holt_winters.hpp"
 #include "timeseries/narnet.hpp"
@@ -36,6 +37,9 @@ class ArimaForecaster final : public Forecaster {
     return "ARIMA(" + std::to_string(o.p) + "," + std::to_string(o.d) + "," +
            std::to_string(o.q) + ")";
   }
+
+  void save_state(snapshot::Writer& writer) const override { model_.save_state(writer); }
+  void load_state(snapshot::Reader& reader) override { model_.load_state(reader); }
 
  private:
   ArimaModel model_;
@@ -72,6 +76,9 @@ class NarnetForecaster final : public Forecaster {
            std::to_string(model_.options().hidden) + ")";
   }
 
+  void save_state(snapshot::Writer& writer) const override { model_.save_state(writer); }
+  void load_state(snapshot::Reader& reader) override { model_.load_state(reader); }
+
  private:
   NarNet model_;
 };
@@ -102,6 +109,9 @@ class HoltWintersForecaster final : public Forecaster {
     return "HoltWinters(" + std::to_string(model_.options().period) + ")";
   }
 
+  void save_state(snapshot::Writer& writer) const override { model_.save_state(writer); }
+  void load_state(snapshot::Reader& reader) override { model_.load_state(reader); }
+
  private:
   HoltWintersModel model_;
 };
@@ -122,6 +132,9 @@ class NaiveForecaster final : public Forecaster {
 
   std::size_t min_history() const override { return 1; }
   std::string name() const override { return "naive"; }
+
+  void save_state(snapshot::Writer&) const override {}  // stateless
+  void load_state(snapshot::Reader&) override {}
 };
 
 }  // namespace
@@ -214,6 +227,37 @@ void DynamicModelSelector::observe(double actual) {
     }
   }
   has_pending_ = false;
+}
+
+
+void DynamicModelSelector::save_state(snapshot::Writer& writer) const {
+  writer.put_u64(models_.size());
+  for (const Candidate& candidate : models_) {
+    candidate.model->save_state(writer);
+    writer.put_f64v(candidate.recent_sq_errors);
+    writer.put_f64(candidate.pending_prediction);
+  }
+  writer.put_u64(selection_counts_.size());
+  for (std::size_t c : selection_counts_) writer.put_u64(c);
+  writer.put_bool(fitted_);
+  writer.put_bool(has_pending_);
+}
+
+void DynamicModelSelector::load_state(snapshot::Reader& reader) {
+  const std::uint64_t model_count = reader.get_u64();
+  SHERIFF_REQUIRE(model_count == models_.size(),
+                  "checkpoint selector does not match this candidate set");
+  for (Candidate& candidate : models_) {
+    candidate.model->load_state(reader);
+    candidate.recent_sq_errors = reader.get_f64v();
+    candidate.pending_prediction = reader.get_f64();
+  }
+  const std::uint64_t count_entries = reader.get_u64();
+  SHERIFF_REQUIRE(count_entries == selection_counts_.size(),
+                  "corrupt selector selection counts");
+  for (std::size_t& c : selection_counts_) c = reader.get_u64();
+  fitted_ = reader.get_bool();
+  has_pending_ = reader.get_bool();
 }
 
 }  // namespace sheriff::ts

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/fwd.hpp"
+
 namespace sheriff::ts {
 
 /// Common interface over ARIMA and NARNET so the selector can treat them
@@ -28,6 +30,12 @@ class Forecaster {
   /// Shortest history length predict_next() accepts.
   [[nodiscard]] virtual std::size_t min_history() const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Checkpoint hooks: fitted parameters only. load_state assumes the
+  /// target was constructed with the same shape (order, layer sizes,
+  /// period); the selector round-trips candidates positionally.
+  virtual void save_state(snapshot::Writer& writer) const = 0;
+  virtual void load_state(snapshot::Reader& reader) = 0;
 };
 
 /// Adapters over the concrete models.
@@ -76,6 +84,13 @@ class DynamicModelSelector {
   [[nodiscard]] const std::vector<std::size_t>& selection_counts() const noexcept {
     return selection_counts_;
   }
+
+  /// Checkpoint hooks: per-candidate fitted parameters + the sliding error
+  /// windows and pending predictions that drive best_model(). Candidates
+  /// are matched positionally — the target selector must have been built
+  /// with the same add_model() sequence.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct Candidate {

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/require.hpp"
+#include "snapshot/archive.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -176,6 +177,29 @@ std::vector<double> NarNet::one_step_predictions(std::span<const double> series,
     out.push_back(predict_next(series.subspan(0, t)));
   }
   return out;
+}
+
+
+void NarNet::save_state(snapshot::Writer& writer) const {
+  writer.put_f64v(weights_.w1);
+  writer.put_f64v(weights_.b1);
+  writer.put_f64v(weights_.w2);
+  writer.put_f64(weights_.b2);
+  writer.put_f64(mean_);
+  writer.put_f64(scale_);
+  writer.put_f64(validation_mse_);
+  writer.put_bool(fitted_);
+}
+
+void NarNet::load_state(snapshot::Reader& reader) {
+  weights_.w1 = reader.get_f64v();
+  weights_.b1 = reader.get_f64v();
+  weights_.w2 = reader.get_f64v();
+  weights_.b2 = reader.get_f64();
+  mean_ = reader.get_f64();
+  scale_ = reader.get_f64();
+  validation_mse_ = reader.get_f64();
+  fitted_ = reader.get_bool();
 }
 
 }  // namespace sheriff::ts

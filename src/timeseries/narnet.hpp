@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "snapshot/fwd.hpp"
+
 namespace sheriff::ts {
 
 class NarNet {
@@ -46,6 +48,11 @@ class NarNet {
   /// One-step-ahead predictions for every t in [start, series.size()).
   [[nodiscard]] std::vector<double> one_step_predictions(std::span<const double> series,
                                                          std::size_t start) const;
+
+  /// Checkpoint hooks: trained weights + input normalization (options stay
+  /// with the constructor). Inference is pure, so restores are exact.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct Weights {

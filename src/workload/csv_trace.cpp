@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "snapshot/archive.hpp"
 
 namespace sheriff::wl {
 
@@ -82,6 +83,16 @@ double ReplayTraceGenerator::next() {
     position_ = 0;
   }
   return value;
+}
+
+void ReplayTraceGenerator::save_state(snapshot::Writer& writer) const {
+  writer.put_u64(position_);
+}
+
+void ReplayTraceGenerator::load_state(snapshot::Reader& reader) {
+  const std::uint64_t position = reader.get_u64();
+  SHERIFF_REQUIRE(position < samples_.size(), "replay position beyond the recorded trace");
+  position_ = static_cast<std::size_t>(position);
 }
 
 }  // namespace sheriff::wl

@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "common/stats.hpp"
+#include "snapshot/archive.hpp"
 
 namespace sheriff::wl {
 
@@ -198,6 +199,49 @@ void Deployment::advance() {
     for (std::size_t f = 0; f < kFeatureCount; ++f) {
       vms_[i].profile.values[f] = dynamics_[i].feature_sources[f]->next();
     }
+  }
+}
+
+void Deployment::save_state(snapshot::Writer& writer) const {
+  writer.put_u64(vms_.size());
+  for (const VirtualMachine& m : vms_) {
+    writer.put_u32(m.host);
+    for (double v : m.profile.values) writer.put_f64(v);
+  }
+  // host_vms_ ordering is history-dependent (move_vm erases + appends), and
+  // vms_on_host() iteration order feeds migration decisions — serialize it
+  // verbatim instead of reconstructing it.
+  writer.put_u64(host_vms_.size());
+  for (const auto& list : host_vms_) writer.put_u32v(list);
+  writer.put_u64(host_used_.size());
+  for (int used : host_used_) writer.put_i64(used);
+  writer.put_u64(dynamics_.size());
+  for (const VmDynamics& d : dynamics_) {
+    for (const auto& source : d.feature_sources) source->save_state(writer);
+  }
+}
+
+void Deployment::load_state(snapshot::Reader& reader) {
+  const std::uint64_t vm_count_stored = reader.get_u64();
+  SHERIFF_REQUIRE(vm_count_stored == vms_.size(),
+                  "checkpoint VM count does not match this deployment");
+  for (VirtualMachine& m : vms_) {
+    m.host = reader.get_u32();
+    for (double& v : m.profile.values) v = reader.get_f64();
+  }
+  const std::uint64_t host_lists = reader.get_u64();
+  SHERIFF_REQUIRE(host_lists == host_vms_.size(),
+                  "checkpoint host table does not match this topology");
+  for (auto& list : host_vms_) list = reader.get_u32v();
+  const std::uint64_t used_entries = reader.get_u64();
+  SHERIFF_REQUIRE(used_entries == host_used_.size(),
+                  "checkpoint host-capacity table does not match this topology");
+  for (int& used : host_used_) used = static_cast<int>(reader.get_i64());
+  const std::uint64_t dynamics_entries = reader.get_u64();
+  SHERIFF_REQUIRE(dynamics_entries == dynamics_.size(),
+                  "checkpoint dynamics table does not match this deployment");
+  for (VmDynamics& d : dynamics_) {
+    for (const auto& source : d.feature_sources) source->load_state(reader);
   }
 }
 

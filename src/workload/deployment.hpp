@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "snapshot/fwd.hpp"
 #include "topology/topology.hpp"
 #include "workload/dependency.hpp"
 #include "workload/trace_generator.hpp"
@@ -89,6 +90,16 @@ class Deployment {
 
   /// Mutable access for the engine (updates profiles after prediction).
   VirtualMachine& vm_mutable(VmId id);
+
+  /// Checkpoint hooks. Everything the constructor derives deterministically
+  /// from (topology, options, seed) — VM capacities/values, dependencies,
+  /// attractor set, generator options — is NOT serialized; load_state
+  /// assumes a freshly constructed deployment with identical inputs and
+  /// restores only the mutable state: placement (including the
+  /// history-dependent per-host VM ordering, which downstream iteration
+  /// depends on bit-for-bit), profiles, and trace-generator streams.
+  void save_state(snapshot::Writer& writer) const;
+  void load_state(snapshot::Reader& reader);
 
  private:
   struct VmDynamics {

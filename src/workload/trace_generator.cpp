@@ -6,6 +6,7 @@
 
 #include "common/math_util.hpp"
 #include "common/require.hpp"
+#include "snapshot/rng_io.hpp"
 
 namespace sheriff::wl {
 
@@ -34,6 +35,18 @@ double SeasonalTraceGenerator::next() {
   return std::clamp(value, options_.floor, options_.ceiling);
 }
 
+void SeasonalTraceGenerator::save_state(snapshot::Writer& writer) const {
+  snapshot::put_rng(writer, rng_);
+  writer.put_f64(ar_state_);
+  writer.put_u64(t_);
+}
+
+void SeasonalTraceGenerator::load_state(snapshot::Reader& reader) {
+  snapshot::get_rng(reader, rng_);
+  ar_state_ = reader.get_f64();
+  t_ = reader.get_u64();
+}
+
 WeeklyTrafficGenerator::WeeklyTrafficGenerator(Options options, std::uint64_t seed)
     : options_(options), rng_(seed) {
   SHERIFF_REQUIRE(options.samples_per_day > 0.0, "samples_per_day must be positive");
@@ -52,6 +65,18 @@ double WeeklyTrafficGenerator::next() {
                        swing * options_.daily_amplitude_mb * std::sin(daily_phase - 0.5 * std::numbers::pi) +
                        ar_state_;
   return std::max(value, 0.0);
+}
+
+void WeeklyTrafficGenerator::save_state(snapshot::Writer& writer) const {
+  snapshot::put_rng(writer, rng_);
+  writer.put_f64(ar_state_);
+  writer.put_u64(t_);
+}
+
+void WeeklyTrafficGenerator::load_state(snapshot::Reader& reader) {
+  snapshot::get_rng(reader, rng_);
+  ar_state_ = reader.get_f64();
+  t_ = reader.get_u64();
 }
 
 std::unique_ptr<TraceGenerator> make_cpu_trace(std::uint64_t seed) {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "snapshot/fwd.hpp"
 
 namespace sheriff::wl {
 
@@ -29,6 +30,11 @@ class TraceGenerator {
   virtual double next() = 0;
   /// Convenience: the next n samples.
   [[nodiscard]] std::vector<double> generate(std::size_t n);
+  /// Checkpoint hooks: mutable stream state only (RNG position, AR state,
+  /// sample clock). Options stay with the constructor — load_state assumes
+  /// the target was built with the same options and seed.
+  virtual void save_state(snapshot::Writer& writer) const = 0;
+  virtual void load_state(snapshot::Reader& reader) = 0;
 };
 
 struct SeasonalTraceOptions {
@@ -49,6 +55,8 @@ class SeasonalTraceGenerator : public TraceGenerator {
  public:
   SeasonalTraceGenerator(SeasonalTraceOptions options, std::uint64_t seed);
   double next() override;
+  void save_state(snapshot::Writer& writer) const override;
+  void load_state(snapshot::Reader& reader) override;
 
  private:
   SeasonalTraceOptions options_;
@@ -71,6 +79,8 @@ class WeeklyTrafficGenerator : public TraceGenerator {
   };
   WeeklyTrafficGenerator(Options options, std::uint64_t seed);
   double next() override;
+  void save_state(snapshot::Writer& writer) const override;
+  void load_state(snapshot::Reader& reader) override;
 
  private:
   Options options_;

@@ -31,6 +31,16 @@ struct Scenario {
   topo::Topology topology;
   std::size_t rounds;
   core::ManagerMode mode = core::ManagerMode::kSheriff;
+  /// Sharded-manage ablation: both legs run with every cache on, and only
+  /// the manage phase differs — naive = the legacy interleaved select()
+  /// sweep, optimized = regional shards (parallel propose, ordered commit).
+  bool shard_ablation = false;
+  std::size_t manage_shards = 8;
+  wl::DeploymentOptions deploy = bench::bench_deployment_options(2015);
+  /// Per-scenario workload knobs (engine/Sheriff defaults when untouched).
+  double flow_demand_scale_gbps = 0.4;
+  double reroute_fraction = 0.5;
+  std::size_t max_matching_rounds = 8;
 };
 
 struct RunResult {
@@ -59,14 +69,21 @@ RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
   core::EngineConfig config;
   config.sheriff.cost.computing_cost = 100.0;  // Sec. VI-B settings
   config.mode = scenario.mode;
-  config.incremental_fair_share = optimized;
-  config.route_cache = optimized;
-  config.retain_cost_trees = optimized;
-  config.partner_rooted_costs = optimized;
-  config.shared_leaf_cost_trees = optimized;
-  config.fast_kmedian = optimized;
-  core::DistributedEngine engine(scenario.topology, bench::bench_deployment_options(2015),
-                                 config);
+  const bool caches = scenario.shard_ablation || optimized;
+  config.incremental_fair_share = caches;
+  config.route_cache = caches;
+  config.retain_cost_trees = caches;
+  config.partner_rooted_costs = caches;
+  config.shared_leaf_cost_trees = caches;
+  config.fast_kmedian = caches;
+  if (scenario.shard_ablation) {
+    config.sharded_manage = optimized;
+    config.manage_shards = scenario.manage_shards;
+  }
+  config.flow_demand_scale_gbps = scenario.flow_demand_scale_gbps;
+  config.sheriff.reroute_fraction = scenario.reroute_fraction;
+  config.sheriff.max_matching_rounds = scenario.max_matching_rounds;
+  core::DistributedEngine engine(scenario.topology, scenario.deploy, config);
   if (vms != nullptr) *vms = engine.deployment().vm_count();
   if (flows != nullptr) *flows = engine.flows().size();
 
@@ -91,7 +108,13 @@ void emit_phases(std::ostream& os, const core::PhaseProfile& p, const char* inde
      << "\"predict\": " << p.predict_ns << ", "
      << "\"manage\": " << p.manage_ns << ", "
      << "\"manage_kmedian\": " << p.manage_kmedian_ns << ", "
-     << "\"manage_schedule\": " << p.manage_schedule_ns << "}";
+     << "\"manage_schedule\": " << p.manage_schedule_ns << ", "
+     << "\"manage_commit\": " << p.manage_commit_ns << ", "
+     << "\"manage_shard_propose\": [";
+  for (std::size_t s = 0; s < p.manage_shard_propose_ns.size(); ++s) {
+    os << (s > 0 ? ", " : "") << p.manage_shard_propose_ns[s];
+  }
+  os << "]}";
 }
 
 void emit_run(std::ostream& os, const RunResult& r, const char* name, bool optimized) {
@@ -143,6 +166,32 @@ int main(int argc, char** argv) {
     ft.pods = 16;
     scenarios.push_back(
         {"fat_tree_k16_kmedian", topo::build_fat_tree(ft), 12, core::ManagerMode::kKMedian});
+    // Regional-sharding ablation on the largest fabric: every cache stays on
+    // in both legs; only the manage phase differs (legacy interleaved sweep
+    // vs 8 contiguous rack shards with the per-rack flow index and the
+    // ordered claim commit). The gated manage_ratio is therefore the
+    // algorithmic win of sharding alone, even on a single-core runner. The
+    // workload is shaped so congestion sits at the agg–core layer: one hot
+    // core/agg switch alerts dozens of racks at once, so the legacy sweep
+    // pays an O(flows) F-set scan plus a reroute pass per alerted shim,
+    // while the sharded commit coalesces the duplicate claims into one.
+    Scenario k32;
+    k32.name = "fat_tree_k32";
+    ft.pods = 32;
+    ft.hosts_per_rack = 2;
+    ft.host_link_gbps = 10.0;
+    ft.tor_agg_gbps = 10.0;
+    ft.agg_core_gbps = 1.0;
+    k32.topology = topo::build_fat_tree(ft);
+    k32.rounds = 4;
+    k32.shard_ablation = true;
+    k32.deploy.placement = wl::PlacementPolicy::kUniform;
+    k32.deploy.hot_vm_fraction = 0.0;  // alerts come from the fabric, not hot VMs
+    k32.deploy.dependency_degree = 2.0;
+    k32.flow_demand_scale_gbps = 2.0;
+    k32.reroute_fraction = 0.3;
+    k32.max_matching_rounds = 4;
+    scenarios.push_back(std::move(k32));
   }
   {
     topo::BCubeOptions bc;
@@ -174,13 +223,21 @@ int main(int argc, char** argv) {
               << "  speedup:   " << std::setprecision(2) << r.speedup << "x"
               << " (manage phase " << r.manage_ratio << "x: "
               << r.naive.phases.manage_ns / 1e6 << " ms -> "
-              << r.optimized.phases.manage_ns / 1e6 << " ms)\n"
-              << std::defaultfloat << std::setprecision(6);
+              << r.optimized.phases.manage_ns / 1e6 << " ms)\n";
+    if (s.shard_ablation) {
+      const core::PhaseProfile& ph = r.optimized.phases;
+      std::uint64_t propose_total = 0;
+      for (std::uint64_t ns : ph.manage_shard_propose_ns) propose_total += ns;
+      std::cout << "  shards:    " << ph.manage_shard_propose_ns.size()
+                << " x propose (total " << propose_total / 1e6 << " ms), commit "
+                << ph.manage_commit_ns / 1e6 << " ms\n";
+    }
+    std::cout << std::defaultfloat << std::setprecision(6);
     results.push_back(std::move(r));
   }
 
   std::ofstream os(out_path);
-  os << "{\n  \"schema\": \"sheriff.bench_scale.v2\",\n  \"scenarios\": [\n";
+  os << "{\n  \"schema\": \"sheriff.bench_scale.v3\",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
     os << "  {\n"

@@ -71,6 +71,18 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
     takeover_.resize(topo.rack_count());
     recompute_takeovers();
   }
+  // Shard plan: a pure function of (rack_count, shard_count). 0 = auto
+  // (min(8, racks)). The shard count only partitions the propose sweep —
+  // results are byte-identical for every value (DESIGN.md §11) — so it is
+  // excluded from the checkpoint fingerprint, like the pool size.
+  {
+    const std::size_t requested = config_.manage_shards != 0
+                                      ? config_.manage_shards
+                                      : std::min<std::size_t>(8, topo.rack_count());
+    shard_plan_ = ManageShardPlan(topo.rack_count(), config_.sharded_manage ? requested : 1);
+    profile_.manage_shard_propose_ns.assign(shard_plan_.shard_count(), 0);
+    shard_stats_.demands_by_rack.assign(topo.rack_count(), 0);
+  }
   if (config_.mode == ManagerMode::kKMedian) {
     // The planner's ToR rows are computed once here and shared across
     // rounds; fast_kmedian=false reproduces the naive per-round rebuild in
@@ -297,6 +309,12 @@ RoundMetrics DistributedEngine::run_round() {
   {
     PhaseTimer timer(profile_.queue_ns);
     queues_.update(shares, flows_, 1.0, config_.parallel_collect ? &worker_pool() : nullptr);
+    // QoS is measured against the demands the allocator actually saw: the
+    // QCN reaction point below tightens rate limits for the *next* period,
+    // and a freshly lowered limit would read as allocated/demand > 1.
+    const auto qos = net::compute_qos_stats(flows_);
+    metrics.flow_satisfaction = qos.mean_satisfaction;
+    metrics.flow_fairness = qos.jain_fairness;
     if (config_.qcn_rate_control) {
       rate_controller_.update(flows_, queues_);
       metrics.rate_limited_flows = rate_controller_.tracked_flows();
@@ -306,9 +324,6 @@ RoundMetrics DistributedEngine::run_round() {
     for (double u : shares.link_utilization) {
       metrics.max_link_utilization = std::max(metrics.max_link_utilization, u);
     }
-    const auto qos = net::compute_qos_stats(flows_);
-    metrics.flow_satisfaction = qos.mean_satisfaction;
-    metrics.flow_fairness = qos.jain_fairness;
   }
 
   // 3. Prediction + alert collection (parallel across racks).
@@ -427,23 +442,35 @@ RoundMetrics DistributedEngine::run_round() {
       observe_plan(plan);
     };
     if (config_.protocol == MigrationProtocol::kMessagePassing) {
-      // Alert dispatch + FLOWREROUTE per shim (serial: reroutes touch the
-      // shared flow table), then one distributed propose/decide/apply run.
-      // A rack whose shim is down is handled by its takeover neighbor: the
-      // demand is attributed to the neighbor and placed in *its* region.
+      // Alert dispatch per shim, then one distributed propose/decide/apply
+      // run. A rack whose shim is down is handled by its takeover neighbor:
+      // the demand is attributed to the neighbor and placed in *its* region.
       std::vector<MigrationDemand> demands;
-      for (std::size_t s = 0; s < shims_.size(); ++s) {
-        const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(s));
-        if (mgr == topo::kInvalidRack) continue;  // unmanaged until a shim recovers
-        auto selection = shims_[s].select(collected[s], deployment_, predicted_, rerouter_,
-                                          flows_, flow_owner_);
-        metrics.host_alerts += selection.host_alerts;
-        metrics.tor_alerts += selection.tor_alerts;
-        metrics.switch_alerts += selection.switch_alerts;
-        metrics.reroutes += selection.reroutes.rerouted;
-        if (!selection.migration_set.empty()) {
-          demands.push_back({shims_[mgr].rack(), std::move(selection.migration_set),
-                             shims_[mgr].migration_targets(deployment_)});
+      if (config_.sharded_manage) {
+        // Sharded two-phase sweep (DESIGN.md §11): parallel pure propose
+        // per shard, serial commit ordered by shim id.
+        std::vector<ShimProposal> proposals = propose_shards(collected);
+        PhaseTimer commit_timer(profile_.manage_commit_ns);
+        commit_proposals(proposals, metrics, [&](topo::RackId mgr, std::vector<wl::VmId> set) {
+          demands.push_back(
+              {shims_[mgr].rack(), std::move(set), shims_[mgr].migration_targets(deployment_)});
+        });
+      } else {
+        // Legacy interleaved sweep (serial: reroutes touch the shared flow
+        // table between alert dispatches) — the bench baseline leg.
+        for (std::size_t s = 0; s < shims_.size(); ++s) {
+          const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(s));
+          if (mgr == topo::kInvalidRack) continue;  // unmanaged until a shim recovers
+          auto selection = shims_[s].select(collected[s], deployment_, predicted_, rerouter_,
+                                            flows_, flow_owner_);
+          metrics.host_alerts += selection.host_alerts;
+          metrics.tor_alerts += selection.tor_alerts;
+          metrics.switch_alerts += selection.switch_alerts;
+          metrics.reroutes += selection.reroutes.rerouted;
+          if (!selection.migration_set.empty()) {
+            demands.push_back({shims_[mgr].rack(), std::move(selection.migration_set),
+                               shims_[mgr].migration_targets(deployment_)});
+          }
         }
       }
       for (std::size_t r = 0; r < orphans_by_rack.size(); ++r) {
@@ -466,6 +493,32 @@ RoundMetrics DistributedEngine::run_round() {
       metrics.protocol_iterations = outcome.iterations;
       metrics.protocol_drops = outcome.drops;
       metrics.protocol_retries = outcome.retries;
+    } else if (config_.sharded_manage) {
+      // Sharded two-phase sweep, FCFS flavor: the same parallel propose,
+      // with each committed migration set scheduled immediately through the
+      // shared admission broker — still strictly ordered by shim id.
+      mig::AdmissionBroker broker(deployment_);
+      std::vector<ShimProposal> proposals = propose_shards(collected);
+      {
+        PhaseTimer commit_timer(profile_.manage_commit_ns);
+        commit_proposals(proposals, metrics, [&](topo::RackId mgr, std::vector<wl::VmId> set) {
+          VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
+                                         config_.sheriff.max_matching_rounds);
+          account_plan(
+              scheduler.migrate(std::move(set), shims_[mgr].migration_targets(deployment_)));
+        });
+      }
+      for (std::size_t r = 0; r < orphans_by_rack.size(); ++r) {
+        if (orphans_by_rack[r].empty()) continue;
+        const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(r));
+        if (mgr == topo::kInvalidRack) continue;
+        VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
+                                       config_.sheriff.max_matching_rounds);
+        const auto plan = scheduler.migrate(std::move(orphans_by_rack[r]),
+                                            shims_[mgr].migration_targets(deployment_));
+        account_plan(plan);
+        count_recoveries(plan);
+      }
     } else {
       mig::AdmissionBroker broker(deployment_);
       for (std::size_t s = 0; s < shims_.size(); ++s) {
@@ -576,6 +629,87 @@ RoundMetrics DistributedEngine::run_round() {
   return metrics;
 }
 
+std::vector<ShimProposal> DistributedEngine::propose_shards(
+    std::span<const ShimCollectResult> collected) {
+  // Per-rack flow index: the indices of the flows owned by each rack's
+  // VMs, ascending — each shim's switch-alert F-set scan becomes O(own
+  // flows) instead of O(all flows). Built serially so the index order (and
+  // therefore every F-set) is independent of the shard count.
+  std::vector<std::vector<std::size_t>> rack_flows(topo_->rack_count());
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    rack_flows[topo_->node(deployment_.vm(flow_owner_[f]).host).rack].push_back(f);
+  }
+  std::vector<ShimProposal> proposals(shims_.size());
+  const auto propose_shard = [&](std::size_t shard) {
+    PhaseTimer timer(profile_.manage_shard_propose_ns[shard]);
+    for (topo::RackId s : shard_plan_.racks_of(shard)) {
+      if (managing_rack(s) == topo::kInvalidRack) continue;
+      proposals[s] = shims_[s].propose(collected[s], deployment_, predicted_, flows_,
+                                       flow_owner_, rack_flows[s]);
+    }
+  };
+  // propose() is pure (no flow mutation, no trace emission, no tallies), so
+  // the shards can run concurrently over the same round state.
+  if (config_.parallel_collect && shard_plan_.shard_count() > 1) {
+    common::parallel_for(worker_pool(), shard_plan_.shard_count(), propose_shard);
+  } else {
+    for (std::size_t shard = 0; shard < shard_plan_.shard_count(); ++shard) {
+      propose_shard(shard);
+    }
+  }
+  return proposals;
+}
+
+void DistributedEngine::commit_proposals(
+    std::span<ShimProposal> proposals, RoundMetrics& metrics,
+    const std::function<void(topo::RackId, std::vector<wl::VmId>)>& schedule) {
+  // Serial apply, totally ordered by shim id: the one place the sharded
+  // sweep touches shared state, so the outcome is the same for every shard
+  // count. Both claim kinds commit first-claimant-wins — each hot switch
+  // is rerouted once per round, and each VM migrates at most once per
+  // round (one shim can claim a tenant twice: the host-alert single-VM
+  // rule and the ToR budget pass may pick the same VM). Losing claims are
+  // resolved as shard conflicts instead of re-applied.
+  std::vector<bool> switch_claimed(topo_->node_count(), false);
+  std::vector<bool> vm_claimed(deployment_.vm_count(), false);
+  for (std::size_t s = 0; s < proposals.size(); ++s) {
+    const topo::RackId mgr = managing_rack(static_cast<topo::RackId>(s));
+    if (mgr == topo::kInvalidRack) continue;
+    ShimProposal& proposal = proposals[s];
+    metrics.host_alerts += proposal.host_alerts;
+    metrics.tor_alerts += proposal.tor_alerts;
+    metrics.switch_alerts += proposal.switch_alerts;
+    shard_stats_.reroute_claims += proposal.reroute_claims.size();
+    for (topo::NodeId hot : proposal.reroute_claims) {
+      if (switch_claimed[hot]) {
+        ++metrics.shard_conflicts;
+        ++shard_stats_.reroute_conflicts;
+        continue;
+      }
+      switch_claimed[hot] = true;
+      ++shard_stats_.reroute_commits;
+      metrics.reroutes += shims_[s].apply_reroute(hot, rerouter_, flows_).rerouted;
+    }
+    shard_stats_.vm_claims += proposal.migration_set.size();
+    std::vector<wl::VmId> migration_set;
+    migration_set.reserve(proposal.migration_set.size());
+    for (wl::VmId vm : proposal.migration_set) {
+      if (vm_claimed[vm]) {
+        ++metrics.shard_conflicts;
+        ++shard_stats_.vm_conflicts;
+        continue;
+      }
+      vm_claimed[vm] = true;
+      ++shard_stats_.vm_commits;
+      migration_set.push_back(vm);
+    }
+    if (migration_set.empty()) continue;
+    ++shard_stats_.demands_by_rack[mgr];
+    schedule(mgr, std::move(migration_set));
+  }
+  ++shard_stats_.sharded_rounds;
+}
+
 void DistributedEngine::publish_round(const RoundMetrics& metrics,
                                       std::span<const obs::AuditedMove> moves) {
   obs::MetricRegistry& registry = hub_->registry();
@@ -590,6 +724,15 @@ void DistributedEngine::publish_round(const RoundMetrics& metrics,
   registry.counter("engine.protocol_drops").add(metrics.protocol_drops);
   registry.counter("engine.protocol_retries").add(metrics.protocol_retries);
   registry.counter("engine.recovery_migrations").add(metrics.recovery_migrations);
+  // Shard bookkeeping: every value here is shard-count invariant (the
+  // propose/commit sweep produces identical results for any shard count),
+  // so publishing it keeps checkpoints byte-comparable across shard counts.
+  registry.counter("engine.shard_conflicts").add(metrics.shard_conflicts);
+  registry.gauge("manage.sharded_rounds").set(static_cast<double>(shard_stats_.sharded_rounds));
+  registry.gauge("manage.reroute_claims").set(static_cast<double>(shard_stats_.reroute_claims));
+  registry.gauge("manage.reroute_commits").set(static_cast<double>(shard_stats_.reroute_commits));
+  registry.gauge("manage.reroute_conflicts")
+      .set(static_cast<double>(shard_stats_.reroute_conflicts));
   registry.gauge("engine.workload_stddev").set(metrics.workload_stddev_after);
   registry.gauge("engine.max_link_utilization").set(metrics.max_link_utilization);
   registry.gauge("engine.flow_satisfaction").set(metrics.flow_satisfaction);
@@ -637,7 +780,7 @@ std::vector<RoundMetrics> DistributedEngine::run(std::size_t rounds) {
 namespace {
 // Section schema versions. Bump a section's version whenever its payload
 // layout changes; load_state rejects skew loudly via expect_section.
-constexpr std::uint32_t kMetaVersion = 1;
+constexpr std::uint32_t kMetaVersion = 2;
 constexpr std::uint32_t kDeploymentVersion = 1;
 constexpr std::uint32_t kFlowVersion = 1;
 constexpr std::uint32_t kFaultVersion = 1;
@@ -645,6 +788,7 @@ constexpr std::uint32_t kFairShareVersion = 1;
 constexpr std::uint32_t kQueueVersion = 1;
 constexpr std::uint32_t kPredictVersion = 1;
 constexpr std::uint32_t kShimVersion = 1;
+constexpr std::uint32_t kShardVersion = 1;
 constexpr std::uint32_t kObsVersion = 1;
 
 void put_holt_scalar(snapshot::Writer& writer, const HoltScalar& scalar) {
@@ -685,6 +829,10 @@ void DistributedEngine::save_state(snapshot::Writer& writer) const {
   writer.put_u8(static_cast<std::uint8_t>(config_.protocol));
   writer.put_u8(static_cast<std::uint8_t>(config_.predictor));
   writer.put_bool(config_.incremental_fair_share);
+  // sharded_manage is semantics-bearing (legacy interleaved sweep vs
+  // two-phase commit), so it fingerprints; manage_shards does not — the
+  // shard count never changes results, exactly like the pool size.
+  writer.put_bool(config_.sharded_manage);
   writer.put_bool(injector_ != nullptr);
   writer.put_bool(channel_ != nullptr);
   writer.put_bool(kmedian_manager_ != nullptr);
@@ -750,6 +898,21 @@ void DistributedEngine::save_state(snapshot::Writer& writer) const {
   writer.begin_section("SHIM", kShimVersion);
   writer.put_u64(shims_.size());
   for (const ShimController& shim : shims_) shim.save_state(writer);
+  writer.end_section();
+
+  // SHRD: shard-sweep bookkeeping. Only shard-count-invariant aggregates
+  // travel (per-shard data would break checkpoint byte-parity across shard
+  // counts); the shard plan itself is a pure function of
+  // (rack_count, shard_count) and is reconstructed, never serialized.
+  writer.begin_section("SHRD", kShardVersion);
+  writer.put_u64(shard_stats_.sharded_rounds);
+  writer.put_u64(shard_stats_.reroute_claims);
+  writer.put_u64(shard_stats_.reroute_commits);
+  writer.put_u64(shard_stats_.reroute_conflicts);
+  writer.put_u64(shard_stats_.vm_claims);
+  writer.put_u64(shard_stats_.vm_commits);
+  writer.put_u64(shard_stats_.vm_conflicts);
+  writer.put_u64v(shard_stats_.demands_by_rack);
   writer.end_section();
 
   // OBSR: registry contents, auditor tallies, trace rings. Saved last and
@@ -824,7 +987,8 @@ void DistributedEngine::load_state(snapshot::Reader& reader) {
   check_load(reader.get_u8() == static_cast<std::uint8_t>(config_.mode) &&
                       reader.get_u8() == static_cast<std::uint8_t>(config_.protocol) &&
                       reader.get_u8() == static_cast<std::uint8_t>(config_.predictor) &&
-                      reader.get_bool() == config_.incremental_fair_share,
+                      reader.get_bool() == config_.incremental_fair_share &&
+                      reader.get_bool() == config_.sharded_manage,
                   "checkpoint was taken under a different engine configuration");
   check_load(reader.get_bool() == (injector_ != nullptr) &&
                       reader.get_bool() == (channel_ != nullptr) &&
@@ -904,6 +1068,19 @@ void DistributedEngine::load_state(snapshot::Reader& reader) {
   reader.expect_section("SHIM", kShimVersion);
   check_load(reader.get_u64() == shims_.size(), "corrupt shim section");
   for (ShimController& shim : shims_) shim.load_state(reader);
+  reader.leave_section();
+
+  reader.expect_section("SHRD", kShardVersion);
+  shard_stats_.sharded_rounds = reader.get_u64();
+  shard_stats_.reroute_claims = reader.get_u64();
+  shard_stats_.reroute_commits = reader.get_u64();
+  shard_stats_.reroute_conflicts = reader.get_u64();
+  shard_stats_.vm_claims = reader.get_u64();
+  shard_stats_.vm_commits = reader.get_u64();
+  shard_stats_.vm_conflicts = reader.get_u64();
+  shard_stats_.demands_by_rack = reader.get_u64v();
+  check_load(shard_stats_.demands_by_rack.size() == topo_->rack_count(),
+             "corrupt shard section");
   reader.leave_section();
 
   reader.expect_section("OBSR", kObsVersion);

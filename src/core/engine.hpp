@@ -17,6 +17,7 @@
 // baseline of Fig. 11–14.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "core/centralized_manager.hpp"
 #include "core/config.hpp"
 #include "core/kmedian_planner.hpp"
+#include "core/manage_shards.hpp"
 #include "core/predictor.hpp"
 #include "core/protocol.hpp"
 #include "core/shim_controller.hpp"
@@ -92,6 +94,21 @@ struct EngineConfig {
   /// kKMedian mode: delta-evaluated fast local search + liveness-gated
   /// planner row reuse; off = reference solver + per-round planner rebuild.
   bool fast_kmedian = true;
+  /// Regional sharding of the manage phase (kSheriff mode, DESIGN.md §11):
+  /// shims are grouped into deterministic contiguous rack shards, each
+  /// shard's alert dispatch + reroute/migration planning runs as one
+  /// parallel *propose* task against an immutable round snapshot, and all
+  /// claims are committed in one serial *apply* pass ordered by shim id
+  /// (duplicate reroute claims on one switch resolve to the lowest shim
+  /// id; the rest count as RoundMetrics::shard_conflicts). Results are
+  /// byte-identical for ANY shard count — tests pin 1/2/8. false = the
+  /// legacy interleaved serial sweep (the bench_scale baseline).
+  bool sharded_manage = true;
+  /// Shard count for the sharded manage phase; 0 = auto (min(8, racks)).
+  /// Clamped to [1, rack_count]. Like the pool size, this never changes
+  /// results, so it is deliberately excluded from the checkpoint
+  /// fingerprint.
+  std::size_t manage_shards = 0;
   std::size_t kmedian_destination_racks = 4;  ///< k medians per plan (kKMedian mode)
   std::size_t kmedian_swap_p = 2;             ///< Alg. 5 swap size (kKMedian mode)
   std::size_t kmedian_max_evaluations = 0;    ///< k-median safety cap (0 = unlimited)
@@ -135,6 +152,11 @@ struct RoundMetrics {
   double flow_fairness = 1.0;              ///< Jain's index over allocated rates
   std::size_t protocol_conflicts = 0;      ///< same-round reservation races resolved
   std::size_t protocol_iterations = 0;     ///< propose/decide/apply rounds used
+  /// Cross-shard claims resolved by the ordered commit of the sharded
+  /// manage phase (duplicate reroute claims on one hot switch dropped in
+  /// favor of the lowest shim id). Deterministic and shard-count
+  /// invariant; 0 on the legacy sweep.
+  std::size_t shard_conflicts = 0;
   double migration_seconds = 0.0;          ///< summed live-migration wall time
   double migration_downtime_seconds = 0.0; ///< summed stop&copy suspensions
   // --- failure model (all zero on a pristine fabric) -----------------------
@@ -161,7 +183,28 @@ struct PhaseProfile {
   /// k-median solve, and the matching/scheduling of the chosen moves.
   std::uint64_t manage_kmedian_ns = 0;
   std::uint64_t manage_schedule_ns = 0;
+  /// Sharded-manage sub-phases of manage_ns: wall time of each shard's
+  /// parallel propose task (indexed by shard, summed over rounds) and of
+  /// the serial ordered commit. Empty/zero on the legacy sweep.
+  std::vector<std::uint64_t> manage_shard_propose_ns;
+  std::uint64_t manage_commit_ns = 0;
   std::size_t rounds = 0;
+};
+
+/// Cumulative bookkeeping of the sharded manage phase. Every field is a
+/// deterministic function of the run (and invariant to the shard count —
+/// the ordered commit resolves claims identically however the propose
+/// work was grouped), so the whole struct travels in checkpoints (section
+/// SHRD) and must survive a resume byte-exactly.
+struct ManageShardStats {
+  std::uint64_t sharded_rounds = 0;     ///< rounds run through propose/commit
+  std::uint64_t reroute_claims = 0;     ///< reroute claims proposed
+  std::uint64_t reroute_commits = 0;    ///< claims that won the ordered commit
+  std::uint64_t reroute_conflicts = 0;  ///< duplicate claims dropped
+  std::uint64_t vm_claims = 0;          ///< VM migration claims proposed
+  std::uint64_t vm_commits = 0;         ///< VM claims that won the ordered commit
+  std::uint64_t vm_conflicts = 0;       ///< duplicate VM claims dropped
+  std::vector<std::uint64_t> demands_by_rack;  ///< migration demands issued per managing rack
 };
 
 class DistributedEngine {
@@ -185,6 +228,10 @@ class DistributedEngine {
   [[nodiscard]] const net::FairShareSolver& fair_share_solver() const noexcept {
     return solver_;
   }
+  /// The manage-phase shard partition (resolved from EngineConfig::
+  /// manage_shards at construction; a 1-shard plan when sharding is off).
+  [[nodiscard]] const ManageShardPlan& shard_plan() const noexcept { return shard_plan_; }
+  [[nodiscard]] const ManageShardStats& shard_stats() const noexcept { return shard_stats_; }
 
   /// Force-collects the alerted VM set of the *current* state (used by
   /// benches that want to hand the same alerts to both manager modes).
@@ -235,6 +282,20 @@ class DistributedEngine {
   [[nodiscard]] bool host_attached(topo::NodeId host) const;
   /// VMs stranded on dead or cut-off hosts, grouped for recovery.
   [[nodiscard]] std::vector<wl::VmId> collect_orphans() const;
+  /// Propose phase of the sharded manage sweep (DESIGN.md §11): every
+  /// shard's shims run Alg. 1 as a pure propose() against the manage-entry
+  /// round state, in parallel across shards. Returned vector is indexed by
+  /// rack id; racks with no live manager keep an empty proposal.
+  [[nodiscard]] std::vector<ShimProposal> propose_shards(
+      std::span<const ShimCollectResult> collected);
+  /// Commit phase: one serial pass ordered by shim id. Reroute claims
+  /// commit first-claimant-wins (cross-shard duplicates become
+  /// RoundMetrics::shard_conflicts); each non-empty migration set is handed
+  /// to `schedule` (a demand push under kMessagePassing, an FCFS scheduler
+  /// run under kSerializedFcfs).
+  void commit_proposals(
+      std::span<ShimProposal> proposals, RoundMetrics& metrics,
+      const std::function<void(topo::RackId, std::vector<wl::VmId>)>& schedule);
 
   const topo::Topology* topo_;
   EngineConfig config_;
@@ -260,6 +321,8 @@ class DistributedEngine {
   std::unique_ptr<KMedianMigrationManager> kmedian_manager_; ///< kKMedian mode only
   std::unique_ptr<obs::ObservationHub> hub_;        ///< null = observability off
   std::vector<topo::RackId> takeover_;              ///< managing rack per rack
+  ManageShardPlan shard_plan_;
+  ManageShardStats shard_stats_;
   std::size_t round_ = 0;
   PhaseProfile profile_;
   /// Last stats snapshot published to the metric registry (delta counters).

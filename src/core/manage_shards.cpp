@@ -1,0 +1,38 @@
+#include "core/manage_shards.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace sheriff::core {
+
+ManageShardPlan::ManageShardPlan(std::size_t rack_count, std::size_t shard_count) {
+  if (rack_count == 0) return;
+  const std::size_t shards = std::clamp<std::size_t>(shard_count, 1, rack_count);
+  racks_.resize(rack_count);
+  shard_of_.resize(rack_count);
+  offsets_.resize(shards + 1);
+  for (std::size_t s = 0; s <= shards; ++s) {
+    // floor(s·R/S): contiguous blocks whose sizes differ by at most one.
+    offsets_[s] = s * rack_count / shards;
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t i = offsets_[s]; i < offsets_[s + 1]; ++i) {
+      racks_[i] = static_cast<topo::RackId>(i);
+      shard_of_[i] = s;
+    }
+  }
+}
+
+std::span<const topo::RackId> ManageShardPlan::racks_of(std::size_t shard) const {
+  SHERIFF_REQUIRE(shard < shard_count(), "shard out of range");
+  return std::span<const topo::RackId>(racks_).subspan(offsets_[shard],
+                                                       offsets_[shard + 1] - offsets_[shard]);
+}
+
+std::size_t ManageShardPlan::shard_of(topo::RackId rack) const {
+  SHERIFF_REQUIRE(rack < shard_of_.size(), "rack out of range");
+  return shard_of_[rack];
+}
+
+}  // namespace sheriff::core

@@ -1,0 +1,56 @@
+#pragma once
+// ManageShardPlan: a deterministic partition of the fabric's racks into
+// contiguous shards, driving the two-phase (propose/commit) manage sweep
+// of DistributedEngine (DESIGN.md §11).
+//
+// Sheriff's premise is that regional shims act independently; the shard
+// plan makes that independence executable: each shard's shims run their
+// alert dispatch, reroute planning, and migration planning as one
+// parallel *propose* task against an immutable view of the round state,
+// and every side effect is committed afterwards in one serial *apply*
+// pass ordered by shim id. Because propose is pure and apply is totally
+// ordered, the results are byte-identical for ANY shard count — the shard
+// count is a throughput knob exactly like the thread-pool size, never a
+// semantics knob.
+//
+// The partition is contiguous (shard s covers racks [floor(s·R/S),
+// floor((s+1)·R/S))): neighbor racks — the likeliest members of one
+// dominating region — tend to land in the same shard, and the mapping is
+// a pure function of (rack_count, shard_count), so it never needs to be
+// serialized into checkpoints.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "topology/entities.hpp"
+
+namespace sheriff::core {
+
+class ManageShardPlan {
+ public:
+  ManageShardPlan() = default;
+
+  /// Partitions racks 0..rack_count-1 into `shard_count` contiguous
+  /// shards. shard_count is clamped to [1, rack_count] (an empty fabric
+  /// yields an empty plan).
+  ManageShardPlan(std::size_t rack_count, std::size_t shard_count);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] std::size_t rack_count() const noexcept { return racks_.size(); }
+
+  /// The racks of one shard, ascending.
+  [[nodiscard]] std::span<const topo::RackId> racks_of(std::size_t shard) const;
+
+  /// The shard owning `rack`.
+  [[nodiscard]] std::size_t shard_of(topo::RackId rack) const;
+
+ private:
+  std::vector<topo::RackId> racks_;    ///< 0..R-1 (contiguous, ascending)
+  std::vector<std::size_t> offsets_;   ///< shard s = racks_[offsets_[s], offsets_[s+1])
+  std::vector<std::size_t> shard_of_;  ///< by rack id
+};
+
+}  // namespace sheriff::core

@@ -11,7 +11,7 @@ common::Table metrics_table(std::span<const RoundMetrics> rounds) {
                        "congested_switches", "rate_limited_flows", "flow_satisfaction",
                        "flow_fairness", "migration_s", "downtime_s", "failed_links",
                        "failed_switches", "orphaned_vms", "unroutable_flows", "protocol_drops",
-                       "protocol_retries", "recovery_migrations"});
+                       "protocol_retries", "recovery_migrations", "shard_conflicts"});
   for (const auto& m : rounds) {
     table.begin_row()
         .add(m.round)
@@ -40,7 +40,8 @@ common::Table metrics_table(std::span<const RoundMetrics> rounds) {
         .add(m.unroutable_flows)
         .add(m.protocol_drops)
         .add(m.protocol_retries)
-        .add(m.recovery_migrations);
+        .add(m.recovery_migrations)
+        .add(m.shard_conflicts);
   }
   return table;
 }

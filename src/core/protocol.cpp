@@ -49,7 +49,21 @@ ProtocolResult DistributedMigrationProtocol::run(std::vector<MigrationDemand> de
   ProtocolResult result;
   const topo::Topology& topo = deployment_->topology();
 
-  // Drop empty demands and dedup VMs within each.
+  // Drop empty demands and dedup VMs across all of them (first demand in
+  // shim-id order wins): a VM can be selected twice by one shim — the
+  // host-alert single-VM rule and the ToR budget pass may pick the same
+  // tenant — and a duplicate would otherwise be proposed, ACKed, and moved
+  // twice in one round (auditor check 8 exclusivity).
+  {
+    std::vector<bool> seen(deployment_->vm_count(), false);
+    for (auto& d : demands) {
+      std::erase_if(d.vms, [&](wl::VmId id) {
+        const bool dup = seen[id];
+        seen[id] = true;
+        return dup;
+      });
+    }
+  }
   std::erase_if(demands, [](const MigrationDemand& d) { return d.vms.empty(); });
 
   std::vector<std::size_t> search_space_by_demand(demands.size(), 0);

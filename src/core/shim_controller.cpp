@@ -227,6 +227,120 @@ ShimSelection ShimController::select(const ShimCollectResult& collected,
   return result;
 }
 
+ShimProposal ShimController::propose(const ShimCollectResult& collected,
+                                     const wl::Deployment& deployment,
+                                     std::span<const wl::WorkloadProfile> predicted,
+                                     std::span<const net::Flow> flows,
+                                     std::span<const wl::VmId> flow_owner,
+                                     std::span<const std::size_t> rack_flow_index) const {
+  // The same Alg. 1 dispatch as select(), evaluated against an immutable
+  // round snapshot: every F-set sees the flow table as it stood when the
+  // manage phase began (select() interleaves reroutes between alerts, so
+  // later F-sets see earlier path changes — the one semantic difference
+  // between the legacy sweep and the sharded two-phase commit).
+  ShimProposal result;
+  bool tor_alerted = false;
+  const auto alert_of = [&](wl::VmId id) {
+    const auto it = std::find(collected.rack_vms.begin(), collected.rack_vms.end(), id);
+    return it == collected.rack_vms.end()
+               ? 0.0
+               : collected.vm_alert_values[static_cast<std::size_t>(
+                     it - collected.rack_vms.begin())];
+  };
+  // F for a switch alert: local VMs with flows through the hot switch. The
+  // per-rack index (when provided) visits the same flows in the same
+  // ascending order as the full-table scan, so the F-set is identical.
+  const auto flows_through = [&](topo::NodeId hot) {
+    std::vector<wl::VmId> f_set;
+    const auto consider = [&](std::size_t f) {
+      const wl::VmId owner = flow_owner[f];
+      if (topo_->node(deployment.vm(owner).host).rack != rack_) return;
+      if (!flows[f].transits(hot)) return;
+      if (std::find(f_set.begin(), f_set.end(), owner) == f_set.end()) {
+        f_set.push_back(owner);
+      }
+    };
+    if (rack_flow_index.empty()) {
+      for (std::size_t f = 0; f < flows.size(); ++f) consider(f);
+    } else {
+      for (std::size_t f : rack_flow_index) consider(f);
+    }
+    return f_set;
+  };
+
+  for (const Alert& alert : collected.alerts) {
+    switch (alert.source) {
+      case AlertSource::kOuterSwitch: {
+        ++result.switch_alerts;
+        const std::vector<wl::VmId> f_set = flows_through(alert.node);
+        std::vector<double> values;
+        values.reserve(f_set.size());
+        for (wl::VmId id : f_set) values.push_back(alert_of(id));
+        const int budget = static_cast<int>(
+            std::floor(config_.alpha * config_.switch_capacity_units));
+        const auto picked =
+            priority_select(deployment, f_set, values, PriorityMode::kAlpha, budget);
+        if (config_.reroute_first && !picked.selected.empty()) {
+          result.reroute_claims.push_back(alert.node);
+        } else {
+          result.migration_set.insert(result.migration_set.end(), picked.selected.begin(),
+                                      picked.selected.end());
+        }
+        break;
+      }
+      case AlertSource::kLocalTor: {
+        ++result.tor_alerts;
+        tor_alerted = true;
+        break;
+      }
+      case AlertSource::kHost: {
+        ++result.host_alerts;
+        std::vector<wl::VmId> f_set(deployment.vms_on_host(alert.node).begin(),
+                                    deployment.vms_on_host(alert.node).end());
+        std::vector<double> values;
+        values.reserve(f_set.size());
+        for (wl::VmId id : f_set) {
+          const double alert_value = alert_of(id);
+          values.push_back(alert_value > 0.0
+                               ? alert_value
+                               : 0.5 * predicted[id][wl::Feature::kCpu]);
+        }
+        const auto picked =
+            priority_select(deployment, f_set, values, PriorityMode::kSingle, 0);
+        result.migration_set.insert(result.migration_set.end(), picked.selected.begin(),
+                                    picked.selected.end());
+        break;
+      }
+    }
+  }
+
+  if (tor_alerted) {
+    std::vector<double> values;
+    values.reserve(collected.rack_vms.size());
+    for (wl::VmId id : collected.rack_vms) values.push_back(alert_of(id));
+    const int budget =
+        static_cast<int>(std::floor(config_.beta * config_.tor_capacity_units));
+    const auto picked = priority_select(deployment, collected.rack_vms, values,
+                                        PriorityMode::kBeta, budget);
+    result.migration_set.insert(result.migration_set.end(), picked.selected.begin(),
+                                picked.selected.end());
+  }
+
+  return result;
+}
+
+net::RerouteReport ShimController::apply_reroute(topo::NodeId hot_switch,
+                                                 const net::FlowRerouter& rerouter,
+                                                 std::span<net::Flow> flows) const {
+  const auto report = rerouter.reroute_around(flows, hot_switch, config_.reroute_fraction);
+  if (trace_ != nullptr && report.rerouted > 0) {
+    trace_->emit(rack_, obs::EventType::kRerouteChosen, hot_switch, 0,
+                 static_cast<double>(report.rerouted));
+  }
+  pending_reroutes_ += report.rerouted;
+  return report;
+}
+
 void ShimController::publish_metrics(obs::MetricRegistry& registry) const {
   registry.counter("shim.alerts_raised").add(pending_alerts_);
   registry.counter("shim.reroutes_chosen").add(pending_reroutes_);

@@ -57,6 +57,20 @@ struct ShimActResult {
   std::size_t switch_alerts = 0;
 };
 
+/// Alg. 1's alert dispatch *without* side effects: the migration set M_v
+/// plus the reroute claims (hot outer switches whose conflicting flows
+/// should move) recorded instead of applied. Produced by propose() in the
+/// engine's parallel shard sweep; the engine commits the claims serially,
+/// ordered by shim id, deduplicating cross-shard claims on the same
+/// switch (DESIGN.md §11).
+struct ShimProposal {
+  std::vector<wl::VmId> migration_set;
+  std::vector<topo::NodeId> reroute_claims;  ///< hot switches, in alert order
+  std::size_t host_alerts = 0;
+  std::size_t tor_alerts = 0;
+  std::size_t switch_alerts = 0;
+};
+
 class ShimController {
  public:
   ShimController(topo::RackId rack, const topo::Topology& topo, SheriffConfig config);
@@ -115,6 +129,27 @@ class ShimController {
                        std::span<const wl::WorkloadProfile> predicted,
                        const net::FlowRerouter& rerouter, std::span<net::Flow> flows,
                        std::span<const wl::VmId> flow_owner) const;
+
+  /// The pure half of select(): the same alert dispatch evaluated against
+  /// an immutable view of the round state. Reroutes become claims instead
+  /// of flow mutations, nothing is traced, and no tallies move — safe to
+  /// run concurrently with other shims' propose() over the same flow
+  /// table. `rack_flow_index` lists the indices of the flows owned by this
+  /// rack's VMs, ascending (the engine builds it once per round so the
+  /// switch-alert F-set scan is O(own flows), not O(all flows)); pass an
+  /// empty span to fall back to the full-table scan.
+  [[nodiscard]] ShimProposal propose(const ShimCollectResult& collected,
+                                     const wl::Deployment& deployment,
+                                     std::span<const wl::WorkloadProfile> predicted,
+                                     std::span<const net::Flow> flows,
+                                     std::span<const wl::VmId> flow_owner,
+                                     std::span<const std::size_t> rack_flow_index) const;
+
+  /// Commits one reroute claim from propose(): moves conflicting flows off
+  /// `hot_switch`, traces the decision, and tallies it. Serial phase only
+  /// (mutates the shared flow table) — the engine orders these by shim id.
+  net::RerouteReport apply_reroute(topo::NodeId hot_switch, const net::FlowRerouter& rerouter,
+                                   std::span<net::Flow> flows) const;
 
   /// select() + the serialized Alg. 3 scheduler against this shim's region
   /// (the one-shot convenience used by tests and the sweep benches; the

@@ -21,8 +21,15 @@ RerouteReport FlowRerouter::reroute_around(std::span<Flow> flows, topo::NodeId h
   if (candidates.empty()) return report;
 
   // Elephants first: rerouting the biggest flows sheds the most load.
+  // Ties break on flow index — equal-demand flows under std::sort alone
+  // land in an unspecified order, and the engine's byte-identity guarantee
+  // (same results for any manage_shards count, any platform) needs every
+  // reroute decision to be a pure function of the flow set.
   std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
-    return flows[a].demand_gbps > flows[b].demand_gbps;
+    if (flows[a].demand_gbps != flows[b].demand_gbps) {
+      return flows[a].demand_gbps > flows[b].demand_gbps;
+    }
+    return a < b;
   });
   const auto quota = static_cast<std::size_t>(
       std::ceil(fraction * static_cast<double>(candidates.size())));

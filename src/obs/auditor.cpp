@@ -45,6 +45,7 @@ void InvariantAuditor::audit_management(const RoundInputs& in) {
   SHERIFF_REQUIRE(in.deployment != nullptr, "audit_management needs the deployment");
   check_placement(in);
   check_moves(in);
+  check_shard_commit(in);
   check_migration_model();
 }
 
@@ -175,6 +176,50 @@ void InvariantAuditor::check_moves(const RoundInputs& in) {
     if (move.to >= topo.node_count() || topo.node(move.to).kind != topo::NodeKind::kHost) {
       report(4, static_cast<double>(move.to),
              "migration of VM " + std::to_string(move.vm) + " targets a non-host node");
+    }
+  }
+}
+
+// Check 8: the round's committed moves form a valid serial commit of the
+// sharded manage sweep. Whatever interleaving produced the proposals, the
+// commit must have (a) kept VM claims exclusive — a VM moved twice in one
+// round means two shims' claims were both applied, (b) left each moved VM
+// on its move's destination, and (c) respected destination headroom — the
+// incoming capacity of a host cannot exceed what the host can hold even if
+// it started the round empty. (c) is deliberately independent of the
+// deployment's own used-capacity bookkeeping (check 3), so a broker that
+// over-admits while keeping its books "consistent" still trips it.
+void InvariantAuditor::check_shard_commit(const RoundInputs& in) {
+  if (in.moves.empty()) return;
+  const wl::Deployment& d = *in.deployment;
+  const topo::Topology& topo = d.topology();
+  std::vector<std::uint8_t> moved(d.vm_count(), 0);
+  std::vector<int> incoming(topo.node_count(), 0);
+  for (const AuditedMove& move : in.moves) {
+    if (move.vm >= d.vm_count()) {
+      report(8, static_cast<double>(move.vm), "committed move names an out-of-range VM");
+      continue;
+    }
+    if (++moved[move.vm] > 1) {
+      report(8, static_cast<double>(move.vm),
+             "VM " + std::to_string(move.vm) +
+                 " was committed by more than one shim in the same round");
+      continue;
+    }
+    if (d.vm(move.vm).host != move.to) {
+      report(8, static_cast<double>(move.vm),
+             "VM " + std::to_string(move.vm) + " was committed to host " +
+                 std::to_string(move.to) + " but ended the round on host " +
+                 std::to_string(d.vm(move.vm).host));
+    }
+    if (move.to < topo.node_count()) {
+      incoming[move.to] += d.vm(move.vm).capacity;
+      if (incoming[move.to] > d.host_capacity()) {
+        report(8, static_cast<double>(incoming[move.to]),
+               "host " + std::to_string(move.to) + " received " +
+                   std::to_string(incoming[move.to]) +
+                   " capacity units of migrations in one round, more than it can hold");
+      }
     }
   }
 }

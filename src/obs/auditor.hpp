@@ -28,6 +28,13 @@
 //                             count, rebuilds <= solves
 //   7 deep fair-share equivalence (opt-in) — re-solve from scratch and
 //                             compare rates at 1e-6
+//   8 shard-commit exclusivity/headroom — the round's committed moves are
+//                             a valid serial commit: no VM moves twice in
+//                             one round (cross-shard claims must have been
+//                             resolved), each moved VM ends up on its
+//                             move's destination, and no destination host
+//                             receives more incoming capacity than it can
+//                             hold outright
 
 #include <cstdint>
 #include <span>
@@ -116,6 +123,7 @@ class InvariantAuditor {
   void check_flow_rates(const RoundInputs& in);        // 1 + 2
   void check_placement(const RoundInputs& in);         // 3
   void check_moves(const RoundInputs& in);             // 4
+  void check_shard_commit(const RoundInputs& in);      // 8
   void check_migration_model();                        // 5 (one-time)
   void check_solver_bookkeeping(const RoundInputs& in);  // 6
   void check_deep_fair_share(const RoundInputs& in);   // 7

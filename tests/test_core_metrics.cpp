@@ -189,6 +189,7 @@ TEST(Metrics, CsvGoldenRow) {
   m.protocol_drops = 4;
   m.protocol_retries = 5;
   m.recovery_migrations = 6;
+  m.shard_conflicts = 7;
 
   std::ostringstream csv;
   core::write_metrics_csv(csv, std::span<const core::RoundMetrics>(&m, 1));
@@ -198,8 +199,8 @@ TEST(Metrics, CsvGoldenRow) {
       "migrations,requests,rejects,reroutes,migration_cost,search_space,max_link_util,"
       "congested_switches,rate_limited_flows,flow_satisfaction,flow_fairness,migration_s,"
       "downtime_s,failed_links,failed_switches,orphaned_vms,unroutable_flows,protocol_drops,"
-      "protocol_retries,recovery_migrations\n"
+      "protocol_retries,recovery_migrations,shard_conflicts\n"
       "3,1.250,0.750,2.500,4,2,1,5,7,2,3,12.50,96,0.875,2,6,0.500,1.000,2.25,0.0625,"
-      "1,0,2,3,4,5,6\n";
+      "1,0,2,3,4,5,6,7\n";
   EXPECT_EQ(csv.str(), expected);
 }

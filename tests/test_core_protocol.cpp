@@ -11,6 +11,7 @@
 #include "common/thread_pool.hpp"
 #include "core/engine.hpp"
 #include "core/protocol.hpp"
+#include "fault/lossy_channel.hpp"
 #include "migration/cost_model.hpp"
 #include "topology/fat_tree.hpp"
 
@@ -189,6 +190,146 @@ TEST(Protocol, EmptyDemandsAreNoOp) {
   const auto result = protocol.run({});
   EXPECT_TRUE(result.plan.moves.empty());
   EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(Protocol, LossBackoffIsCappedAtThreeIterations) {
+  // Under a drop-everything channel a VM is re-proposed on a fixed
+  // schedule: backoff grows 1, 2, then stays at kBackoffCap = 3, so
+  // REQUESTs go out at iterations 0, 2, 5, 9, 13, ... (every 4 once
+  // capped). Over a 30-iteration budget that is exactly 9 proposals —
+  // a cap of 2 would yield 11 drops, an uncapped backoff only 7, so the
+  // drop count pins the cap itself.
+  auto d = make_deployment(87);
+  mig::MigrationCostModel model(test_topology(), d);
+  sheriff::fault::LossyChannel channel(1.0, 87);
+  core::SheriffConfig config;
+  config.max_matching_rounds = 1;
+  core::DistributedMigrationProtocol protocol(d, model, config, nullptr, &channel,
+                                              /*loss_retry_budget=*/29);
+
+  const topo::NodeId home = d.vm(0).host;
+  const topo::RackId r0 = test_topology().node(home).rack;
+  const auto result = protocol.run(
+      {demand_for(d, r0, {0}, test_topology().rack((r0 + 1) % 8).hosts)});
+
+  EXPECT_EQ(result.iterations, 30u);  // losses keep the budget alive
+  EXPECT_EQ(result.drops, 9u);
+  EXPECT_TRUE(result.plan.moves.empty());
+  ASSERT_EQ(result.plan.unplaced.size(), 1u);
+  EXPECT_EQ(result.plan.unplaced[0], 0u);
+  EXPECT_EQ(d.vm(0).host, home);  // nothing committed, nothing leaked
+}
+
+TEST(Protocol, DuplicateVmClaimsCommitAtMostOnce) {
+  // One VM claimed three times — twice inside one demand (the host-alert
+  // single-VM rule and the ToR budget pass can pick the same tenant) and
+  // once by a second shim. The cross-demand dedup must collapse all of
+  // them to a single move; every VM in the final plan is unique.
+  auto d = make_deployment(88);
+  mig::MigrationCostModel model(test_topology(), d);
+  core::DistributedMigrationProtocol protocol(d, model, core::SheriffConfig{});
+
+  const topo::NodeId home = d.vm(0).host;
+  const topo::RackId r0 = test_topology().node(home).rack;
+  const auto targets = test_topology().rack((r0 + 1) % 8).hosts;
+  const auto result =
+      protocol.run({demand_for(d, r0, {0, 0}, targets),
+                    demand_for(d, (r0 + 2) % 8, {0}, targets)});
+
+  std::size_t moves_of_vm0 = 0;
+  std::vector<bool> moved(d.vm_count(), false);
+  for (const auto& move : result.plan.moves) {
+    EXPECT_FALSE(moved[move.vm]) << "VM " << move.vm << " moved twice in one round";
+    moved[move.vm] = true;
+    if (move.vm == 0) ++moves_of_vm0;
+  }
+  EXPECT_EQ(moves_of_vm0, 1u);
+  EXPECT_NE(d.vm(0).host, home);
+  EXPECT_EQ(result.conflicts, 0u);  // dropped duplicates, not apply races
+}
+
+TEST(Protocol, DropAllChannelTerminatesWithoutSideEffects) {
+  // A channel that loses every message must still terminate within the
+  // iteration budget and leave the deployment untouched: no moves, no
+  // leaked reservations, every demanded VM reported unplaced.
+  auto d = make_deployment(89);
+  mig::MigrationCostModel model(test_topology(), d);
+  std::vector<topo::NodeId> homes;
+  for (const auto& vm : d.vms()) homes.push_back(vm.host);
+  std::vector<int> used_before;
+  for (const auto& node : test_topology().nodes()) {
+    if (node.kind == topo::NodeKind::kHost) {
+      used_before.push_back(d.host_used_capacity(node.id));
+    }
+  }
+
+  sheriff::fault::LossyChannel channel(1.0, 89);
+  core::SheriffConfig config;
+  config.max_matching_rounds = 4;
+  core::DistributedMigrationProtocol protocol(d, model, config, nullptr, &channel,
+                                              /*loss_retry_budget=*/8);
+  std::vector<core::MigrationDemand> demands;
+  std::size_t demanded = 0;
+  for (topo::RackId r = 0; r < 4; ++r) {
+    std::vector<wl::VmId> vms;
+    for (topo::NodeId h : test_topology().rack(r).hosts) {
+      for (wl::VmId id : d.vms_on_host(h)) vms.push_back(id);
+    }
+    vms.resize(std::min<std::size_t>(vms.size(), 2));
+    demanded += vms.size();
+    demands.push_back(demand_for(d, r, std::move(vms),
+                                 test_topology().rack(r + 4).hosts));
+  }
+  const auto result = protocol.run(std::move(demands));
+
+  EXPECT_LE(result.iterations, 12u);  // max_matching_rounds + retry budget
+  EXPECT_TRUE(result.plan.moves.empty());
+  EXPECT_EQ(result.plan.unplaced.size(), demanded);
+  EXPECT_GT(result.drops, 0u);
+  for (const auto& vm : d.vms()) EXPECT_EQ(vm.host, homes[vm.id]);
+  std::size_t h = 0;
+  for (const auto& node : test_topology().nodes()) {
+    if (node.kind == topo::NodeKind::kHost) {
+      EXPECT_EQ(d.host_used_capacity(node.id), used_before[h++]);
+    }
+  }
+}
+
+TEST(Protocol, HeavyLossStillConvergesWithinBudgetAndInvariants) {
+  // 60% loss: the protocol may need the retry budget, but it terminates,
+  // never moves a VM twice, and never overfills a host.
+  auto d = make_deployment(90);
+  mig::MigrationCostModel model(test_topology(), d);
+  sheriff::fault::LossyChannel channel(0.6, 90);
+  core::SheriffConfig config;
+  config.max_matching_rounds = 4;
+  core::DistributedMigrationProtocol protocol(d, model, config, nullptr, &channel,
+                                              /*loss_retry_budget=*/16);
+  std::vector<core::MigrationDemand> demands;
+  for (topo::RackId r = 0; r < 4; ++r) {
+    std::vector<wl::VmId> vms;
+    for (topo::NodeId h : test_topology().rack(r).hosts) {
+      for (wl::VmId id : d.vms_on_host(h)) vms.push_back(id);
+    }
+    vms.resize(std::min<std::size_t>(vms.size(), 3));
+    demands.push_back(demand_for(d, r, std::move(vms),
+                                 test_topology().rack(r + 4).hosts));
+  }
+  const auto result = protocol.run(std::move(demands));
+
+  EXPECT_LE(result.iterations, 20u);
+  EXPECT_GT(result.drops, 0u);
+  EXPECT_GT(result.plan.moves.size(), 0u);  // losses delay, not starve
+  std::vector<bool> moved(d.vm_count(), false);
+  for (const auto& move : result.plan.moves) {
+    EXPECT_FALSE(moved[move.vm]) << "VM " << move.vm << " moved twice in one round";
+    moved[move.vm] = true;
+  }
+  for (const auto& node : test_topology().nodes()) {
+    if (node.kind == topo::NodeKind::kHost) {
+      EXPECT_LE(d.host_used_capacity(node.id), d.host_capacity());
+    }
+  }
 }
 
 TEST(Protocol, EngineModesBothPreserveInvariants) {

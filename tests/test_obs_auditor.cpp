@@ -329,7 +329,82 @@ TEST(AuditorDetects, CorruptMigrationMoves) {
   in.moves = moves;
   obs::InvariantAuditor auditor;
   auditor.audit_management(in);
-  EXPECT_EQ(auditor.violation_count(), 4u);
+  // Check 4 trips once per corrupt move; the moves also disagree with the
+  // fixture's actual placement, so check 8 piles on top — count per check.
+  std::size_t check4 = 0;
+  for (const std::string& m : auditor.messages()) {
+    if (m.find("[check 4]") != std::string::npos) ++check4;
+  }
+  EXPECT_EQ(check4, 4u);
+  EXPECT_GE(auditor.violation_count(), 4u);
+}
+
+// Check 8: a VM committed by two shims in one round (a failed cross-shard
+// claim resolution) and a destination overfed beyond its headroom must
+// both trip, while a move list matching the actual placement stays clean.
+TEST(AuditorDetects, ShardCommitDoubleMoveAndOverfedHost) {
+  AuditFixture fx(fat_tree());
+  const auto hosts = fx.topology->nodes_of_kind(topo::NodeKind::kHost);
+  const auto count_check8 = [](const obs::InvariantAuditor& auditor) {
+    std::size_t n = 0;
+    for (const std::string& m : auditor.messages()) {
+      if (m.find("[check 8]") != std::string::npos) ++n;
+    }
+    return n;
+  };
+
+  // A clean commit: one VM, reported exactly where the deployment has it.
+  {
+    const wl::VmId vm = fx.deployment.vms_on_host(hosts[0]).front();
+    std::vector<obs::AuditedMove> moves{
+        {vm, hosts[1], fx.deployment.vm(vm).host, 1.0, 1.0, 0.1}};
+    auto in = fx.inputs();
+    in.moves = moves;
+    obs::InvariantAuditor auditor;
+    auditor.audit_management(in);
+    EXPECT_EQ(count_check8(auditor), 0u)
+        << (auditor.messages().empty() ? "" : auditor.messages().front());
+  }
+
+  // The same VM committed twice — exclusivity must trip exactly once.
+  {
+    const wl::VmId vm = fx.deployment.vms_on_host(hosts[0]).front();
+    const topo::NodeId home = fx.deployment.vm(vm).host;
+    std::vector<obs::AuditedMove> moves{{vm, hosts[1], home, 1.0, 1.0, 0.1},
+                                        {vm, hosts[2], home, 1.0, 1.0, 0.1}};
+    auto in = fx.inputs();
+    in.moves = moves;
+    obs::InvariantAuditor auditor;
+    auditor.audit_management(in);
+    EXPECT_EQ(count_check8(auditor), 1u);
+    EXPECT_NE(auditor.messages().front().find("more than one shim"), std::string::npos);
+  }
+
+  // Incoming capacity beyond what the destination could ever hold: feed
+  // one host more VMs than host_capacity admits in a single round.
+  {
+    std::vector<obs::AuditedMove> moves;
+    int fed = 0;
+    for (topo::NodeId h : hosts) {
+      if (h == hosts[0]) continue;
+      for (wl::VmId vm : fx.deployment.vms_on_host(h)) {
+        moves.push_back({vm, h, hosts[0], 1.0, 1.0, 0.1});
+        fed += fx.deployment.vm(vm).capacity;
+      }
+      if (fed > fx.deployment.host_capacity()) break;
+    }
+    ASSERT_GT(fed, fx.deployment.host_capacity());
+    auto in = fx.inputs();
+    in.moves = moves;
+    obs::InvariantAuditor auditor;
+    auditor.audit_management(in);
+    EXPECT_GE(count_check8(auditor), 1u);
+    bool saw_headroom = false;
+    for (const std::string& m : auditor.messages()) {
+      saw_headroom |= m.find("more than it can hold") != std::string::npos;
+    }
+    EXPECT_TRUE(saw_headroom);
+  }
 }
 
 TEST(AuditorDetects, FailFastThrowsOnFirstViolation) {

@@ -548,3 +548,81 @@ TEST(SnapshotEngine, TruncatedAndCorruptCheckpointsFailLoudly) {
                  snap::SnapshotError);
   }
 }
+
+// Archive mutation fuzz: no mutated checkpoint — random byte flips,
+// overwrites, truncations, or garbage tails — may ever crash, hang, or
+// over-allocate the loader; every failure mode must surface as a thrown
+// SnapshotError. A load that happens to succeed is fine when the mutation
+// misses anything load-bearing (e.g. flips a byte the CRC does cover but
+// the mutated payload re-validates — it cannot: CRC mismatch throws — or
+// lands in bytes the reader never consumes; both are vanishingly rare and
+// harmless, so the assertion is "throws SnapshotError or loads", never
+// "dies".)
+TEST(SnapshotEngine, MutatedCheckpointsAlwaysFailAsSnapshotError) {
+  const topo::Topology topology = small_fat_tree();
+  core::DistributedEngine source(topology, parity_deployment(), core::EngineConfig{});
+  for (int r = 0; r < 3; ++r) (void)source.run_round();
+  const std::vector<std::uint8_t> pristine = core::Checkpoint::serialize(source);
+  ASSERT_GT(pristine.size(), 64u);
+
+  std::size_t threw = 0;
+  std::size_t loaded = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    sc::Pcg32 rng(0x5EED0000 + seed, seed);
+    std::vector<std::uint8_t> bytes = pristine;
+
+    // Mutation recipe drawn from the seed: truncate, flip a burst of bytes,
+    // overwrite a run with a constant, or append garbage. Several stacked
+    // per seed so corruptions compound like real torn/bit-rotted files.
+    const std::size_t edits = 1 + rng.next_below(3);
+    for (std::size_t e = 0; e < edits; ++e) {
+      switch (rng.next_below(4)) {
+        case 0: {  // truncate anywhere, including inside the preamble
+          bytes.resize(rng.next_below(static_cast<std::uint32_t>(bytes.size() + 1)));
+          break;
+        }
+        case 1: {  // flip 1-8 random bytes
+          if (bytes.empty()) break;
+          const std::size_t flips = 1 + rng.next_below(8);
+          for (std::size_t i = 0; i < flips; ++i) {
+            bytes[rng.next_below(static_cast<std::uint32_t>(bytes.size()))] ^=
+                static_cast<std::uint8_t>(1 + rng.next_below(255));
+          }
+          break;
+        }
+        case 2: {  // overwrite a run with a constant (fake lengths/counts)
+          if (bytes.empty()) break;
+          const std::size_t start = rng.next_below(static_cast<std::uint32_t>(bytes.size()));
+          const std::size_t len = std::min<std::size_t>(1 + rng.next_below(16),
+                                                        bytes.size() - start);
+          const auto value = static_cast<std::uint8_t>(rng.next_u32());
+          for (std::size_t i = 0; i < len; ++i) bytes[start + i] = value;
+          break;
+        }
+        default: {  // append garbage (leftover bytes must be rejected)
+          const std::size_t extra = 1 + rng.next_below(32);
+          for (std::size_t i = 0; i < extra; ++i) {
+            bytes.push_back(static_cast<std::uint8_t>(rng.next_u32()));
+          }
+          break;
+        }
+      }
+    }
+    if (bytes == pristine) continue;
+
+    core::DistributedEngine target(topology, parity_deployment(), core::EngineConfig{});
+    try {
+      core::Checkpoint::deserialize(target, std::move(bytes));
+      ++loaded;  // mutation missed everything load-bearing
+    } catch (const snap::SnapshotError&) {
+      ++threw;  // the one acceptable failure mode
+    }
+    // Anything else — std::bad_alloc from a forged count, a std::logic_error,
+    // a segfault — escapes the try and fails the test (or kills the process,
+    // which the harness reports just as loudly).
+  }
+  // The CRC and framing make silent acceptance of a corrupt archive
+  // essentially impossible: virtually every seed must have thrown.
+  EXPECT_GT(threw, 190u);
+  EXPECT_LT(loaded, 10u);
+}

@@ -20,7 +20,13 @@ where the per-scenario `min_*` values are hard floors (the optimization's
 acceptance bars) and `tolerance` absorbs runner noise. Baselines in the old
 baseline.v1 schema (no manage fields) and bench outputs in the old v1
 schema (no manage_ratio) are accepted — the manage gate is simply skipped,
-so the script stays usable against historical artifacts.
+so the script stays usable against historical artifacts. Schema v3 adds
+per-shard manage timings (phases_ns.manage_shard_propose / manage_commit);
+they are informational here, the gated ratios are unchanged.
+
+A scenario named in the baseline but absent from the bench output is a hard
+FAIL before any ratio check, with the set difference spelled out — a bench
+run that silently drops a scenario must not pass on the surviving ratios.
 
 Usage: check_bench_scale.py CURRENT_JSON [BASELINE_JSON]
 Exit status: 0 on pass, 1 on any violation or malformed input.
@@ -29,10 +35,15 @@ Exit status: 0 on pass, 1 on any violation or malformed input.
 import json
 import sys
 
-BENCH_SCHEMAS = ("sheriff.bench_scale.v1", "sheriff.bench_scale.v2")
+BENCH_SCHEMAS = (
+    "sheriff.bench_scale.v1",
+    "sheriff.bench_scale.v2",
+    "sheriff.bench_scale.v3",
+)
 BASELINE_SCHEMAS = (
     "sheriff.bench_scale.baseline.v1",
     "sheriff.bench_scale.baseline.v2",
+    "sheriff.bench_scale.baseline.v3",
 )
 
 
@@ -73,11 +84,19 @@ def main() -> None:
     tolerance = float(baseline.get("tolerance", 0.5))
     measured = {s["name"]: s for s in current.get("scenarios", [])}
 
+    # Every gated scenario must be present: a bench run that silently drops
+    # one (crashed leg, filtered build, stale binary) must not pass just
+    # because the surviving ratios look fine.
+    missing = sorted(set(baseline["scenarios"]) - set(measured))
+    if missing:
+        fail(
+            f"scenarios missing from {current_path}: {', '.join(missing)} "
+            f"(baseline gates {sorted(baseline['scenarios'])}, "
+            f"bench produced {sorted(measured)})"
+        )
+
     violations = []
     for name, ref in baseline["scenarios"].items():
-        if name not in measured:
-            violations.append(f"scenario {name!r} missing from {current_path}")
-            continue
         got = measured[name]
         check_ratio(
             name, "speedup", float(got["speedup"]), ref["speedup"], ref["min_speedup"],

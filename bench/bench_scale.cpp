@@ -19,29 +19,12 @@
 #include "bench_support.hpp"
 #include "obs/timing.hpp"
 #include "core/engine.hpp"
-#include "topology/bcube.hpp"
-#include "topology/fat_tree.hpp"
 
 namespace {
 
 using namespace sheriff;
 
-struct Scenario {
-  std::string name;
-  topo::Topology topology;
-  std::size_t rounds;
-  core::ManagerMode mode = core::ManagerMode::kSheriff;
-  /// Sharded-manage ablation: both legs run with every cache on, and only
-  /// the manage phase differs — naive = the legacy interleaved select()
-  /// sweep, optimized = regional shards (parallel propose, ordered commit).
-  bool shard_ablation = false;
-  std::size_t manage_shards = 8;
-  wl::DeploymentOptions deploy = bench::bench_deployment_options(2015);
-  /// Per-scenario workload knobs (engine/Sheriff defaults when untouched).
-  double flow_demand_scale_gbps = 0.4;
-  double reroute_fraction = 0.5;
-  std::size_t max_matching_rounds = 8;
-};
+using Scenario = bench::ScaleScenario;
 
 struct RunResult {
   double seconds = 0.0;
@@ -66,23 +49,7 @@ struct ScenarioResult {
 
 RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
                      std::size_t* flows, const snapshot::CheckpointCli& checkpoints) {
-  core::EngineConfig config;
-  config.sheriff.cost.computing_cost = 100.0;  // Sec. VI-B settings
-  config.mode = scenario.mode;
-  const bool caches = scenario.shard_ablation || optimized;
-  config.incremental_fair_share = caches;
-  config.route_cache = caches;
-  config.retain_cost_trees = caches;
-  config.partner_rooted_costs = caches;
-  config.shared_leaf_cost_trees = caches;
-  config.fast_kmedian = caches;
-  if (scenario.shard_ablation) {
-    config.sharded_manage = optimized;
-    config.manage_shards = scenario.manage_shards;
-  }
-  config.flow_demand_scale_gbps = scenario.flow_demand_scale_gbps;
-  config.sheriff.reroute_fraction = scenario.reroute_fraction;
-  config.sheriff.max_matching_rounds = scenario.max_matching_rounds;
+  const core::EngineConfig config = bench::scale_engine_config(scenario, optimized);
   core::DistributedEngine engine(scenario.topology, scenario.deploy, config);
   if (vms != nullptr) *vms = engine.deployment().vm_count();
   if (flows != nullptr) *flows = engine.flows().size();
@@ -151,54 +118,7 @@ int main(int argc, char** argv) {
       "Fat-Tree; the caching layers keep the allocation identical, the "
       "cost-rooting modes keep it equal-cost (FP tie-breaks aside)");
 
-  std::vector<Scenario> scenarios;
-  {
-    topo::FatTreeOptions ft;
-    ft.pods = 16;
-    ft.hosts_per_rack = 4;
-    ft.tor_agg_gbps = 1.0;  // Sec. VI-B capacities: contention like Fig. 11/12
-    scenarios.push_back({"fat_tree_k16", topo::build_fat_tree(ft), 12});
-    ft.pods = 24;
-    scenarios.push_back({"fat_tree_k24", topo::build_fat_tree(ft), 6});
-    // Sec. V-A centralized k-median reduction: the manage phase is the
-    // planner + Alg. 5 local search + matching, exercising the fast
-    // delta-evaluated solver against the naive per-round rebuild + scan.
-    ft.pods = 16;
-    scenarios.push_back(
-        {"fat_tree_k16_kmedian", topo::build_fat_tree(ft), 12, core::ManagerMode::kKMedian});
-    // Regional-sharding ablation on the largest fabric: every cache stays on
-    // in both legs; only the manage phase differs (legacy interleaved sweep
-    // vs 8 contiguous rack shards with the per-rack flow index and the
-    // ordered claim commit). The gated manage_ratio is therefore the
-    // algorithmic win of sharding alone, even on a single-core runner. The
-    // workload is shaped so congestion sits at the agg–core layer: one hot
-    // core/agg switch alerts dozens of racks at once, so the legacy sweep
-    // pays an O(flows) F-set scan plus a reroute pass per alerted shim,
-    // while the sharded commit coalesces the duplicate claims into one.
-    Scenario k32;
-    k32.name = "fat_tree_k32";
-    ft.pods = 32;
-    ft.hosts_per_rack = 2;
-    ft.host_link_gbps = 10.0;
-    ft.tor_agg_gbps = 10.0;
-    ft.agg_core_gbps = 1.0;
-    k32.topology = topo::build_fat_tree(ft);
-    k32.rounds = 4;
-    k32.shard_ablation = true;
-    k32.deploy.placement = wl::PlacementPolicy::kUniform;
-    k32.deploy.hot_vm_fraction = 0.0;  // alerts come from the fabric, not hot VMs
-    k32.deploy.dependency_degree = 2.0;
-    k32.flow_demand_scale_gbps = 2.0;
-    k32.reroute_fraction = 0.3;
-    k32.max_matching_rounds = 4;
-    scenarios.push_back(std::move(k32));
-  }
-  {
-    topo::BCubeOptions bc;
-    bc.ports = 4;
-    bc.levels = 2;
-    scenarios.push_back({"bcube_4_2", topo::build_bcube(bc), 30});
-  }
+  const std::vector<Scenario> scenarios = bench::make_scale_scenarios();
 
   std::vector<ScenarioResult> results;
   for (const Scenario& s : scenarios) {

@@ -224,4 +224,74 @@ void print_comparison_table(const std::vector<ManagerComparison>& sweep,
   table.print(std::cout);
 }
 
+std::vector<ScaleScenario> make_scale_scenarios() {
+  std::vector<ScaleScenario> scenarios;
+  topo::FatTreeOptions ft;
+  ft.pods = 16;
+  ft.hosts_per_rack = 4;
+  ft.tor_agg_gbps = 1.0;  // Sec. VI-B capacities: contention like Fig. 11/12
+  scenarios.push_back({"fat_tree_k16", topo::build_fat_tree(ft), 12});
+  ft.pods = 24;
+  scenarios.push_back({"fat_tree_k24", topo::build_fat_tree(ft), 6});
+  // Sec. V-A centralized k-median reduction: the manage phase is the
+  // planner + Alg. 5 local search + matching, exercising the fast
+  // delta-evaluated solver against the naive per-round rebuild + scan.
+  ft.pods = 16;
+  scenarios.push_back(
+      {"fat_tree_k16_kmedian", topo::build_fat_tree(ft), 12, core::ManagerMode::kKMedian});
+  // Regional-sharding ablation on the largest fabric: every cache stays on
+  // in both legs; only the manage phase differs (legacy interleaved sweep
+  // vs 8 contiguous rack shards with the per-rack flow index and the
+  // ordered claim commit). The gated manage_ratio is therefore the
+  // algorithmic win of sharding alone, even on a single-core runner. The
+  // workload is shaped so congestion sits at the agg–core layer: one hot
+  // core/agg switch alerts dozens of racks at once, so the legacy sweep
+  // pays an O(flows) F-set scan plus a reroute pass per alerted shim,
+  // while the sharded commit coalesces the duplicate claims into one.
+  ScaleScenario k32;
+  k32.name = "fat_tree_k32";
+  ft.pods = 32;
+  ft.hosts_per_rack = 2;
+  ft.host_link_gbps = 10.0;
+  ft.tor_agg_gbps = 10.0;
+  ft.agg_core_gbps = 1.0;
+  k32.topology = topo::build_fat_tree(ft);
+  k32.rounds = 4;
+  k32.shard_ablation = true;
+  k32.deploy.placement = wl::PlacementPolicy::kUniform;
+  k32.deploy.hot_vm_fraction = 0.0;  // alerts come from the fabric, not hot VMs
+  k32.deploy.dependency_degree = 2.0;
+  k32.flow_demand_scale_gbps = 2.0;
+  k32.reroute_fraction = 0.3;
+  k32.max_matching_rounds = 4;
+  scenarios.push_back(std::move(k32));
+
+  topo::BCubeOptions bc;
+  bc.ports = 4;
+  bc.levels = 2;
+  scenarios.push_back({"bcube_4_2", topo::build_bcube(bc), 30});
+  return scenarios;
+}
+
+core::EngineConfig scale_engine_config(const ScaleScenario& scenario, bool optimized) {
+  core::EngineConfig config;
+  config.sheriff.cost.computing_cost = 100.0;  // Sec. VI-B settings
+  config.mode = scenario.mode;
+  const bool caches = scenario.shard_ablation || optimized;
+  config.incremental_fair_share = caches;
+  config.route_cache = caches;
+  config.retain_cost_trees = caches;
+  config.partner_rooted_costs = caches;
+  config.shared_leaf_cost_trees = caches;
+  config.fast_kmedian = caches;
+  if (scenario.shard_ablation) {
+    config.sharded_manage = optimized;
+    config.manage_shards = scenario.manage_shards;
+  }
+  config.flow_demand_scale_gbps = scenario.flow_demand_scale_gbps;
+  config.sheriff.reroute_fraction = scenario.reroute_fraction;
+  config.sheriff.max_matching_rounds = scenario.max_matching_rounds;
+  return config;
+}
+
 }  // namespace sheriff::bench

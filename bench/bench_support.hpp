@@ -65,6 +65,34 @@ ManagerComparison compare_managers(const topo::Topology& topology, double alert_
 /// Deployment options shared by the figure benches (Sec. VI-B settings).
 wl::DeploymentOptions bench_deployment_options(std::uint64_t seed);
 
+/// One evaluation scenario of the per-round hot-path bench, shared by
+/// bench_scale (naive vs optimized engine) and bench_fleet (the same five
+/// fabrics swept across seeds by the fleet runner).
+struct ScaleScenario {
+  std::string name;
+  topo::Topology topology;
+  std::size_t rounds = 0;
+  core::ManagerMode mode = core::ManagerMode::kSheriff;
+  /// Sharded-manage ablation: both bench_scale legs run with every cache
+  /// on, and only the manage phase differs — naive = the legacy
+  /// interleaved select() sweep, optimized = regional shards.
+  bool shard_ablation = false;
+  std::size_t manage_shards = 8;
+  wl::DeploymentOptions deploy = bench_deployment_options(2015);
+  /// Per-scenario workload knobs (engine/Sheriff defaults when untouched).
+  double flow_demand_scale_gbps = 0.4;
+  double reroute_fraction = 0.5;
+  std::size_t max_matching_rounds = 8;
+};
+
+/// The five canonical scale scenarios (fat-tree k16/k24/k32, the k16
+/// k-median reduction, and BCube(4,2)) with their Sec. VI-B shaping.
+std::vector<ScaleScenario> make_scale_scenarios();
+
+/// The engine configuration of a scale scenario's `optimized` (every cache
+/// on) or `naive` (pre-optimization recompute-everything) leg.
+core::EngineConfig scale_engine_config(const ScaleScenario& scenario, bool optimized);
+
 /// The Fig. 11/12 sweep: Fat-Tree pod counts 8..48 with the Sec. VI-B link
 /// capacities (core-agg 10, agg-ToR 1).
 std::vector<ManagerComparison> sweep_fat_tree(const std::vector<int>& pod_counts,

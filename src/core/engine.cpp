@@ -17,6 +17,11 @@ using PhaseTimer = obs::ScopedTimer;
 DistributedEngine::DistributedEngine(const topo::Topology& topo,
                                      const wl::DeploymentOptions& deployment_options,
                                      EngineConfig config)
+    : DistributedEngine(topo, deployment_options, config, EngineSubstrate{}) {}
+
+DistributedEngine::DistributedEngine(const topo::Topology& topo,
+                                     const wl::DeploymentOptions& deployment_options,
+                                     EngineConfig config, const EngineSubstrate& substrate)
     : topo_(&topo),
       config_(config),
       deployment_(topo, deployment_options),
@@ -86,11 +91,28 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
   if (config_.mode == ManagerMode::kKMedian) {
     // The planner's ToR rows are computed once here and shared across
     // rounds; fast_kmedian=false reproduces the naive per-round rebuild in
-    // run_round (and solves with the reference scan, serially).
-    KMedianPlannerOptions planner_options;
-    planner_options.pool = config_.fast_kmedian ? &worker_pool() : nullptr;
-    planner_options.liveness = injector_ != nullptr ? &injector_->liveness() : nullptr;
-    kmedian_planner_ = std::make_unique<KMedianPlanner>(topo, planner_options);
+    // run_round (and solves with the reference scan, serially). A fleet
+    // substrate can lend its pre-built maskless planner instead, but only
+    // inside the envelope where this engine would never mutate one: the
+    // fast path (no per-round rebuild()) on a pristine fabric (no
+    // liveness-driven refresh()). The borrowed rows are identical to the
+    // ones an owned build would produce — the row sweep is pool-size
+    // invariant and the mask-free graph is the same — so borrowed and
+    // owned engines are byte-identical (tests/test_fleet.cpp pins it).
+    const bool borrow = substrate.kmedian_planner != nullptr && config_.fast_kmedian &&
+                        config_.fault_plan == nullptr;
+    if (borrow) {
+      SHERIFF_REQUIRE(
+          substrate.kmedian_planner->rack_distances().size() == topo.rack_count(),
+          "substrate k-median planner was built over a different topology");
+      kmedian_planner_view_ = substrate.kmedian_planner;
+    } else {
+      KMedianPlannerOptions planner_options;
+      planner_options.pool = config_.fast_kmedian ? &worker_pool() : nullptr;
+      planner_options.liveness = injector_ != nullptr ? &injector_->liveness() : nullptr;
+      kmedian_planner_ = std::make_unique<KMedianPlanner>(topo, planner_options);
+      kmedian_planner_view_ = kmedian_planner_.get();
+    }
     KMedianMigrationManager::Options manager_options;
     manager_options.destination_racks = config_.kmedian_destination_racks;
     manager_options.local_search_p = config_.kmedian_swap_p;
@@ -99,7 +121,7 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
     manager_options.pool = config_.fast_kmedian ? &worker_pool() : nullptr;
     manager_options.liveness = injector_ != nullptr ? &injector_->liveness() : nullptr;
     kmedian_manager_ = std::make_unique<KMedianMigrationManager>(
-        deployment_, cost_model_, *kmedian_planner_, manager_options);
+        deployment_, cost_model_, *kmedian_planner_view_, manager_options);
   }
   build_flows();
 }
@@ -593,10 +615,17 @@ RoundMetrics DistributedEngine::run_round() {
       // manage_kmedian sub-phase; matching/scheduling is manage_schedule.
       {
         PhaseTimer timer(profile_.manage_kmedian_ns);
-        if (config_.fast_kmedian) {
-          kmedian_planner_->refresh();
-        } else {
-          kmedian_planner_->rebuild();
+        // Row upkeep mutates the planner, so it only applies to an owned
+        // one. A borrowed (substrate) planner is maskless by contract —
+        // refresh() on it would be a no-op anyway — and rebuild() never
+        // borrows (the ctor falls back to an owned planner when
+        // fast_kmedian is off).
+        if (kmedian_planner_ != nullptr) {
+          if (config_.fast_kmedian) {
+            kmedian_planner_->refresh();
+          } else {
+            kmedian_planner_->rebuild();
+          }
         }
       }
       const KMedianMigrationManager::Stats& stats = kmedian_manager_->stats();
@@ -749,9 +778,9 @@ void DistributedEngine::publish_round(const RoundMetrics& metrics,
         .add(stats.evaluations - published_kmedian_stats_.evaluations);
     registry.counter("kmedian.cap_hits").add(stats.cap_hits - published_kmedian_stats_.cap_hits);
     registry.counter("kmedian.planner_rebuilds")
-        .add(kmedian_planner_->rebuilds() - published_planner_rebuilds_);
+        .add(kmedian_planner_view_->rebuilds() - published_planner_rebuilds_);
     published_kmedian_stats_ = stats;
-    published_planner_rebuilds_ = kmedian_planner_->rebuilds();
+    published_planner_rebuilds_ = kmedian_planner_view_->rebuilds();
   }
   if (config_.incremental_fair_share) solver_.publish_metrics(registry);
   router_.publish_metrics(registry);
@@ -1154,7 +1183,7 @@ void DistributedEngine::load_state(snapshot::Reader& reader) {
   // the one registry counter that may run +1 ahead after a resume.)
   if (kmedian_manager_ != nullptr) {
     published_kmedian_stats_ = kmedian_manager_->stats();
-    published_planner_rebuilds_ = kmedian_planner_->rebuilds();
+    published_planner_rebuilds_ = kmedian_planner_view_->rebuilds();
   }
 }
 

@@ -207,11 +207,34 @@ struct ManageShardStats {
   std::vector<std::uint64_t> demands_by_rack;  ///< migration demands issued per managing rack
 };
 
+/// Shared read-only substrate for fleets of engines over one topology
+/// (DESIGN.md §12). Everything here is *cold, immutable* input that is
+/// expensive to derive and identical for every run: borrowing it never
+/// changes a single output byte, it only skips redundant construction
+/// work. All pointers are borrowed and must outlive every engine built
+/// over the substrate.
+struct EngineSubstrate {
+  /// A maskless KMedianPlanner over the engine's topology whose ToR
+  /// distance rows every borrowing engine reuses instead of running its
+  /// own O(racks) Dijkstra sweep (kKMedian mode only; ignored otherwise).
+  /// Borrowed only when the engine would never mutate the planner — i.e.
+  /// fast_kmedian is on (no per-round rebuild()) and no fault plan is
+  /// bound (no liveness-driven refresh()); engines outside that envelope
+  /// silently build their own planner, so a substrate is always safe to
+  /// pass. plan() is const and data-race free, so concurrent fleet runs
+  /// may share one planner.
+  const KMedianPlanner* kmedian_planner = nullptr;
+};
+
 class DistributedEngine {
  public:
   /// The topology must outlive the engine.
   DistributedEngine(const topo::Topology& topo, const wl::DeploymentOptions& deployment_options,
                     EngineConfig config);
+  /// Substrate-borrowing constructor: identical behavior, minus the cost
+  /// of rebuilding whatever the substrate already holds.
+  DistributedEngine(const topo::Topology& topo, const wl::DeploymentOptions& deployment_options,
+                    EngineConfig config, const EngineSubstrate& substrate);
 
   /// Runs one management round; returns its metrics.
   RoundMetrics run_round();
@@ -317,7 +340,11 @@ class DistributedEngine {
   std::vector<HoltScalar> tor_queue_predictors_;               ///< by RackId
   std::unique_ptr<fault::FaultInjector> injector_;  ///< null = pristine fabric
   std::unique_ptr<fault::LossyChannel> channel_;    ///< null = reliable messaging
-  std::unique_ptr<KMedianPlanner> kmedian_planner_;          ///< kKMedian mode only
+  std::unique_ptr<KMedianPlanner> kmedian_planner_;          ///< kKMedian mode, owned (null when borrowed)
+  /// The planner actually consulted (owned or substrate-borrowed); null
+  /// outside kKMedian mode. Mutating calls (refresh/rebuild) only ever go
+  /// to kmedian_planner_ — a borrowed planner is strictly read-only.
+  const KMedianPlanner* kmedian_planner_view_ = nullptr;
   std::unique_ptr<KMedianMigrationManager> kmedian_manager_; ///< kKMedian mode only
   std::unique_ptr<obs::ObservationHub> hub_;        ///< null = observability off
   std::vector<topo::RackId> takeover_;              ///< managing rack per rack

@@ -150,6 +150,21 @@ TEST(Stats, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(sc::quantile(xs, 0.5), 2.5);
 }
 
+// Regression: 0- and 1-sample inputs used to hit the size()-1 index math
+// (an empty span wrapped past the end). They are ordinary inputs for the
+// fleet aggregator — a metric that only one run reports still has a p99 —
+// so both must be well-defined for every q in [0,1].
+TEST(Stats, QuantileDegenerateInputs) {
+  const std::vector<double> empty;
+  const std::vector<double> one{7.25};
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(sc::quantile(empty, q), 0.0) << "q=" << q;
+    EXPECT_DOUBLE_EQ(sc::quantile(one, q), 7.25) << "q=" << q;
+  }
+  EXPECT_THROW(sc::quantile(one, -0.1), sc::RequirementError);
+  EXPECT_THROW(sc::quantile(one, 1.1), sc::RequirementError);
+}
+
 TEST(Stats, CorrelationSigns) {
   const std::vector<double> xs{1, 2, 3, 4, 5};
   const std::vector<double> up{2, 4, 6, 8, 10};
@@ -251,4 +266,39 @@ TEST(ThreadPool, SubmitReturnsValue) {
   sc::ThreadPool pool(2);
   auto fut = pool.submit([] { return 41 + 1; });
   EXPECT_EQ(fut.get(), 42);
+}
+
+// A parallel_for issued from a worker of the same pool must run inline
+// (the reentrancy guard, DESIGN.md §12). Before the guard, this exact
+// shape deadlocked on a size-1 pool: the outer task occupied the only
+// worker while the inner iterations waited in the queue forever.
+TEST(ThreadPool, NestedParallelForOnOwnPoolRunsInline) {
+  sc::ThreadPool pool(1);
+  std::atomic<int> inner_sum{0};
+  std::atomic<bool> saw_worker_thread{false};
+  sc::parallel_for(pool, 2, [&](std::size_t) {
+    if (pool.on_worker_thread()) saw_worker_thread.store(true);
+    sc::parallel_for(pool, 100, [&](std::size_t i) {
+      inner_sum.fetch_add(static_cast<int>(i));
+    });
+  });
+  EXPECT_TRUE(saw_worker_thread.load());
+  EXPECT_EQ(inner_sum.load(), 2 * (99 * 100) / 2);
+  // From a non-worker thread the same pool reports false and the guard
+  // stays out of the way.
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, ReentrancyGuardDistinguishesPools) {
+  // Two-level mode: a worker of the outer pool fanning out on a *different*
+  // inner pool must really use the inner pool's workers, not inline.
+  sc::ThreadPool outer(1);
+  sc::ThreadPool inner(2);
+  std::atomic<int> ran_on_inner_worker{0};
+  sc::parallel_for(outer, 1, [&](std::size_t) {
+    sc::parallel_for(inner, 64, [&](std::size_t) {
+      if (inner.on_worker_thread()) ran_on_inner_worker.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(ran_on_inner_worker.load(), 64);
 }

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Perf + determinism gate for bench_fleet.
+
+Compares a freshly produced BENCH_fleet.json against the committed baseline
+(bench/baselines/BENCH_fleet_baseline.json). Two things are gated:
+
+determinism (hard, machine-independent)
+    bench_fleet compares every per-run metrics CRC and checkpoint CRC
+    between the 1-worker and the 8-worker sweep. A single diverging byte
+    sets "deterministic": false and this gate FAILs regardless of timing —
+    worker count must be a throughput knob, never a semantics knob.
+
+speedup (normalized by the core count)
+    The raw serial/wide wall-clock ratio depends on how many cores the
+    runner actually has, so the requirement scales with it:
+
+        usable   = min(workers, cores)                # cores the sweep can use
+        required = max(floor(cores),
+                       usable * baseline_efficiency * (1 - tolerance))
+
+    where baseline_efficiency = baseline speedup / baseline usable cores
+    (per-core efficiency observed when the baseline was recorded) and
+    floor(cores) is a hard floor: 4.0 once the runner has >= 8 cores (the
+    acceptance bar "at least 4x at 8 workers"), 1.0 on 2..7 cores (parallel
+    must not lose to serial when real parallelism exists), and 0.25 on a
+    single core (8-way oversubscription of one core legitimately *slows
+    down* — working sets evict each other — so only completion sanity is
+    gated there; determinism is the real check).
+
+The scenario list must match the baseline exactly — a sweep that silently
+dropped a fabric must not pass on the surviving timing.
+
+Usage: check_bench_fleet.py CURRENT_JSON [BASELINE_JSON]
+Exit status: 0 on pass, 1 on any violation or malformed input.
+"""
+
+import json
+import sys
+
+BENCH_SCHEMAS = ("sheriff.bench_fleet.v1",)
+BASELINE_SCHEMAS = ("sheriff.bench_fleet.baseline.v1",)
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_fleet: FAIL: {msg}")
+    sys.exit(1)
+
+
+def hard_floor(cores: int) -> float:
+    if cores >= 8:
+        return 4.0
+    if cores >= 2:
+        return 1.0
+    return 0.25
+
+
+def main() -> None:
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_fleet.py CURRENT_JSON [BASELINE_JSON]")
+    current_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2] if len(sys.argv) > 2 else "bench/baselines/BENCH_fleet_baseline.json"
+    )
+
+    with open(current_path, encoding="utf-8") as f:
+        current = json.load(f)
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    if current.get("schema") not in BENCH_SCHEMAS:
+        fail(f"unexpected bench schema: {current.get('schema')!r}")
+    if baseline.get("schema") not in BASELINE_SCHEMAS:
+        fail(f"unexpected baseline schema: {baseline.get('schema')!r}")
+
+    # Determinism first: timing is meaningless if the outputs diverged.
+    if current.get("deterministic") is not True:
+        fail(
+            "per-run outputs diverged between worker counts "
+            '("deterministic" is not true) — this is a correctness bug, '
+            "not a perf regression"
+        )
+    print("  determinism: per-run CRCs identical across worker counts ok")
+
+    missing = sorted(set(baseline["scenarios"]) - set(current.get("scenarios", [])))
+    if missing:
+        fail(
+            f"scenarios missing from {current_path}: {', '.join(missing)} "
+            f"(baseline gates {sorted(baseline['scenarios'])})"
+        )
+    if int(current.get("runs", 0)) < int(baseline.get("min_runs", 1)):
+        fail(
+            f"sweep ran only {current.get('runs')} runs; baseline requires "
+            f">= {baseline.get('min_runs')}"
+        )
+
+    workers = int(current.get("workers", 8))
+    cores = max(1, int(current.get("cores", 1)))
+    usable = min(workers, cores)
+    tolerance = float(baseline.get("tolerance", 0.25))
+
+    base_speedup = float(baseline["speedup"])
+    base_usable = max(1, min(int(baseline["workers"]), int(baseline["cores"])))
+    efficiency = base_speedup / base_usable
+
+    got = float(current["speedup"])
+    required = max(hard_floor(cores), usable * efficiency * (1.0 - tolerance))
+    verdict = "ok" if got >= required else "REGRESSION"
+    print(
+        f"  speedup: {got:.2f}x on {cores} core(s) "
+        f"(baseline {base_speedup:.2f}x on {baseline['cores']} core(s), "
+        f"per-core efficiency {efficiency:.2f}, required >= {required:.2f}x) {verdict}"
+    )
+    if got < required:
+        fail(f"speedup {got:.2f}x below required {required:.2f}x on {cores} core(s)")
+    print("check_bench_fleet: PASS")
+
+
+if __name__ == "__main__":
+    main()

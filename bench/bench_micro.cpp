@@ -100,6 +100,42 @@ void BM_MaxMinFairShare(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxMinFairShare)->Arg(128)->Arg(512)->Arg(2048);
 
+// The incremental solver under the engine's steady-state shape: each
+// iteration churns the demand of ~10% of the flows (a rotating subset)
+// and re-solves. Measures the event-driven water-fill kernel plus dirty
+// detection — compare against BM_MaxMinFairShare at the same flow count
+// for the from-scratch cost it replaces.
+void BM_IncrementalFairShareChurn(benchmark::State& state) {
+  topo::FatTreeOptions options;
+  options.pods = 8;
+  const auto t = topo::build_fat_tree(options);
+  const net::Router router(t);
+  common::Pcg32 rng(3);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows;
+  for (net::FlowId id = 0; id < static_cast<net::FlowId>(state.range(0)); ++id) {
+    net::Flow f;
+    f.id = id;
+    f.src_host = rng.pick(hosts);
+    f.dst_host = rng.pick(hosts);
+    if (f.src_host == f.dst_host) continue;
+    f.demand_gbps = rng.uniform(0.05, 1.5);
+    flows.push_back(f);
+  }
+  router.route_all(flows);
+  net::FairShareSolver solver(t);
+  solver.solve(flows);
+  std::size_t phase = 0;
+  for (auto _ : state) {
+    for (std::size_t f = phase; f < flows.size(); f += 10) {
+      flows[f].demand_gbps *= (phase % 2 == 0) ? 1.1 : 1.0 / 1.1;
+    }
+    phase = (phase + 1) % 10;
+    benchmark::DoNotOptimize(solver.solve(flows));
+  }
+}
+BENCHMARK(BM_IncrementalFairShareChurn)->Arg(128)->Arg(512)->Arg(2048);
+
 void BM_KMedianLocalSearch(benchmark::State& state) {
   common::Pcg32 rng(4);
   const std::size_t n = 48;

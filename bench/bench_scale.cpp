@@ -31,7 +31,15 @@ struct RunResult {
   double rounds_per_sec = 0.0;
   core::PhaseProfile phases;
   net::FairShareSolver::Stats fair_share;
+  std::size_t fair_share_components = 0;
+  std::size_t fair_share_arena_bytes = 0;
   net::RouterCacheStats router;
+
+  /// Network hot path: allocation + routing (workload_ns holds the
+  /// routing queries; fair_share_ns the water-fill).
+  [[nodiscard]] double net_ns() const {
+    return static_cast<double>(phases.fair_share_ns + phases.workload_ns);
+  }
 };
 
 struct ScenarioResult {
@@ -45,6 +53,7 @@ struct ScenarioResult {
   RunResult optimized;
   double speedup = 0.0;
   double manage_ratio = 0.0;  ///< naive manage_ns / optimized manage_ns
+  double net_ratio = 0.0;     ///< naive (fair_share+route) / optimized (fair_share+route)
 };
 
 RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
@@ -62,6 +71,8 @@ RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
   result.rounds_per_sec = static_cast<double>(scenario.rounds) / result.seconds;
   result.phases = engine.phase_profile();
   result.fair_share = engine.fair_share_solver().stats();
+  result.fair_share_components = engine.fair_share_solver().component_count();
+  result.fair_share_arena_bytes = engine.fair_share_solver().arena_bytes();
   result.router = engine.router().cache_stats();
   return result;
 }
@@ -71,6 +82,8 @@ void emit_phases(std::ostream& os, const core::PhaseProfile& p, const char* inde
      << "\"fault\": " << p.fault_ns << ", "
      << "\"workload_route\": " << p.workload_ns << ", "
      << "\"fair_share\": " << p.fair_share_ns << ", "
+     << "\"fair_share_build\": " << p.fair_share_build_ns << ", "
+     << "\"fair_share_fill\": " << p.fair_share_fill_ns << ", "
      << "\"queue\": " << p.queue_ns << ", "
      << "\"predict\": " << p.predict_ns << ", "
      << "\"manage\": " << p.manage_ns << ", "
@@ -93,7 +106,9 @@ void emit_run(std::ostream& os, const RunResult& r, const char* name, bool optim
     os << ",\n      \"fair_share\": {\"solves\": " << r.fair_share.solves
        << ", \"full_rebuilds\": " << r.fair_share.full_rebuilds
        << ", \"affected_flows\": " << r.fair_share.affected_flows
-       << ", \"reused_flows\": " << r.fair_share.reused_flows << "},\n"
+       << ", \"reused_flows\": " << r.fair_share.reused_flows
+       << ", \"components\": " << r.fair_share_components
+       << ", \"arena_bytes\": " << r.fair_share_arena_bytes << "},\n"
        << "      \"router\": {\"tree_hits\": " << r.router.tree_hits
        << ", \"tree_misses\": " << r.router.tree_misses
        << ", \"path_hits\": " << r.router.path_hits
@@ -138,12 +153,20 @@ int main(int argc, char** argv) {
                          ? static_cast<double>(r.naive.phases.manage_ns) /
                                static_cast<double>(r.optimized.phases.manage_ns)
                          : 0.0;
+    r.net_ratio = r.optimized.net_ns() > 0.0 ? r.naive.net_ns() / r.optimized.net_ns() : 0.0;
     std::cout << "  optimized: " << r.optimized.rounds_per_sec << " rounds/s ("
               << r.optimized.seconds << " s)\n"
               << "  speedup:   " << std::setprecision(2) << r.speedup << "x"
               << " (manage phase " << r.manage_ratio << "x: "
               << r.naive.phases.manage_ns / 1e6 << " ms -> "
-              << r.optimized.phases.manage_ns / 1e6 << " ms)\n";
+              << r.optimized.phases.manage_ns / 1e6 << " ms)\n"
+              << "  net:       " << r.net_ratio << "x (fair_share+route "
+              << r.naive.net_ns() / 1e6 << " ms -> " << r.optimized.net_ns() / 1e6
+              << " ms; fill " << r.optimized.phases.fair_share_fill_ns / 1e6
+              << " ms of build+fill "
+              << (r.optimized.phases.fair_share_build_ns +
+                  r.optimized.phases.fair_share_fill_ns) / 1e6
+              << " ms)\n";
     if (s.shard_ablation) {
       const core::PhaseProfile& ph = r.optimized.phases;
       std::uint64_t propose_total = 0;
@@ -157,7 +180,7 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream os(out_path);
-  os << "{\n  \"schema\": \"sheriff.bench_scale.v3\",\n  \"scenarios\": [\n";
+  os << "{\n  \"schema\": \"sheriff.bench_scale.v4\",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
     os << "  {\n"
@@ -171,6 +194,7 @@ int main(int argc, char** argv) {
     os << ",\n";
     emit_run(os, r.optimized, "optimized", true);
     os << ",\n    \"speedup\": " << r.speedup << ",\n    \"manage_ratio\": " << r.manage_ratio
+       << ",\n    \"net_ratio\": " << r.net_ratio
        << "\n  }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

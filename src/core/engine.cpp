@@ -31,6 +31,7 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
       solver_(topo),
       cost_model_(topo, deployment_, config.sheriff.cost) {
   router_.set_cache_enabled(config_.route_cache);
+  if (config_.parallel_fair_share) solver_.set_thread_pool(&worker_pool());
   cost_model_.set_tree_cache_retained(config_.retain_cost_trees);
   cost_model_.set_partner_rooted(config_.partner_rooted_costs);
   cost_model_.set_shared_leaf_trees(config_.shared_leaf_cost_trees);
@@ -308,6 +309,8 @@ RoundMetrics DistributedEngine::run_round() {
     PhaseTimer timer(profile_.fair_share_ns);
     if (config_.incremental_fair_share) {
       shares_ptr = &solver_.solve(flows_, liveness);
+      profile_.fair_share_build_ns = solver_.timings().build_ns;
+      profile_.fair_share_fill_ns = solver_.timings().fill_ns;
     } else {
       naive_shares_ = net::max_min_fair_share(*topo_, flows_, liveness);
       shares_ptr = &naive_shares_;
@@ -813,7 +816,7 @@ constexpr std::uint32_t kMetaVersion = 2;
 constexpr std::uint32_t kDeploymentVersion = 1;
 constexpr std::uint32_t kFlowVersion = 1;
 constexpr std::uint32_t kFaultVersion = 1;
-constexpr std::uint32_t kFairShareVersion = 1;
+constexpr std::uint32_t kFairShareVersion = 2;
 constexpr std::uint32_t kQueueVersion = 1;
 constexpr std::uint32_t kPredictVersion = 1;
 constexpr std::uint32_t kShimVersion = 1;

@@ -82,6 +82,11 @@ struct EngineConfig {
   //     order / path tie-breaks may differ, so each mode is deterministic
   //     but the modes are not bit-identical to each other. ----------------
   bool incremental_fair_share = true;  ///< stateful FairShareSolver vs from-scratch waterfill
+  /// Water-fill dirty sharing-graph components on the worker pool. Like
+  /// the pool size, this never changes results — each component writes
+  /// only its own slice of the allocation and every summation order is
+  /// canonical — so it is excluded from the checkpoint fingerprint.
+  bool parallel_fair_share = true;
   bool route_cache = true;             ///< Router shortest-path-tree + resolved-path caches
   bool retain_cost_trees = true;       ///< keep cost-model Dijkstra trees across rounds
   /// Dependency-span distances rooted at the partners instead of every
@@ -176,6 +181,11 @@ struct PhaseProfile {
   std::uint64_t fault_ns = 0;       ///< fault events + liveness propagation
   std::uint64_t workload_ns = 0;    ///< trace advance + demand updates + routing
   std::uint64_t fair_share_ns = 0;  ///< max–min allocation
+  /// Incremental-solver sub-phases of fair_share_ns (zero on the naive
+  /// from-scratch path): dirty detection + CSR/component upkeep vs the
+  /// water-filling kernel proper.
+  std::uint64_t fair_share_build_ns = 0;
+  std::uint64_t fair_share_fill_ns = 0;
   std::uint64_t queue_ns = 0;       ///< switch queues + QCN rate control
   std::uint64_t predict_ns = 0;     ///< predictor observe + shim collect
   std::uint64_t manage_ns = 0;      ///< reroutes + migration protocol (total)

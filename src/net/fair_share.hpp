@@ -7,15 +7,21 @@
 // Two implementations share the same semantics:
 //
 //   * max_min_fair_share — the from-scratch reference: resolves every
-//     flow's path into link ids and runs progressive filling over the whole
-//     fabric. Simple, allocation-heavy, O(rebuild) per call.
+//     flow's path into link ids and runs level-by-level progressive
+//     filling over the whole fabric. Simple, allocation-heavy,
+//     O(levels × fabric) per call. This is the bench baseline and the
+//     oracle every differential test compares against.
 //   * FairShareSolver — the incremental solver the engine's per-round hot
-//     path uses. It keeps the flow↔link incidence and the previous
+//     path uses. It keeps a flat CSR flow↔link incidence and the previous
 //     allocation across calls, detects which flows changed (demand, path,
-//     rate limit, link liveness), closes the dirty set over shared links,
-//     and re-waterfills only the affected flows. Untouched components keep
-//     their previous rates. See DESIGN.md §7 for the dirty-set algorithm
-//     and the equivalence argument.
+//     rate limit, link liveness), maps the dirty set onto connected
+//     components of the flow–link sharing graph, and re-waterfills only
+//     the dirty components with an event-driven kernel that processes
+//     links in saturation order (no per-level fabric re-scan). Untouched
+//     components keep their previous rates. Components fill independently
+//     into component-owned slices, so the optional thread-pool mode is
+//     byte-identical to the serial fill for any pool size. See DESIGN.md
+//     §7 for the equivalence argument and §13 for the flat layout.
 
 #include <cstdint>
 #include <span>
@@ -28,6 +34,10 @@
 
 namespace sheriff::obs {
 class MetricRegistry;
+}
+
+namespace sheriff::common {
+class ThreadPool;
 }
 
 namespace sheriff::net {
@@ -59,7 +69,15 @@ FairShareResult max_min_fair_share(const topo::Topology& topo, std::span<Flow> f
 /// to floating-point noise (the differential test bounds it at 1e-9): a
 /// max–min allocation decomposes over connected components of the
 /// flow–link sharing graph, so components untouched by this round's
-/// changes provably keep their previous rates.
+/// changes provably keep their previous rates, and a dirty component's
+/// event-driven fill freezes flows at the same water levels the reference
+/// reaches by progressive increments.
+///
+/// Every floating-point summation the solver performs runs in a canonical
+/// order (ascending flow index within a component), so the allocation is a
+/// pure function of the current flow table + liveness — independent of the
+/// history of path edits, of the thread-pool size, and of whether the
+/// state was just restored from a checkpoint.
 class FairShareSolver {
  public:
   struct Stats {
@@ -70,8 +88,24 @@ class FairShareSolver {
     std::size_t reused_flows = 0;     ///< cumulative flows that kept their rate
   };
 
+  /// Cumulative wall time split of solve(): `build` covers liveness
+  /// diffing, dirty detection, CSR patching and component labelling;
+  /// `fill` covers the water-filling kernel proper. Not serialized — a
+  /// resumed run restarts the clocks, like core::PhaseProfile.
+  struct Timings {
+    std::uint64_t build_ns = 0;
+    std::uint64_t fill_ns = 0;
+  };
+
   /// The topology must outlive the solver.
   explicit FairShareSolver(const topo::Topology& topo);
+
+  /// Attaches (or detaches, with nullptr) a worker pool: dirty components
+  /// then water-fill in parallel. Results are byte-identical for any pool
+  /// size — each component writes only its own slice of the result arrays
+  /// and every summation order is canonical — so this is a pure throughput
+  /// knob, deliberately excluded from the checkpoint fingerprint.
+  void set_thread_pool(common::ThreadPool* pool) noexcept { pool_ = pool; }
 
   /// Computes the allocation for `flows`, reusing the previous call's
   /// state. Also writes each flow's allocated_gbps. The returned reference
@@ -81,51 +115,100 @@ class FairShareSolver {
 
   [[nodiscard]] const FairShareResult& result() const noexcept { return result_; }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Timings& timings() const noexcept { return timings_; }
 
-  /// Publishes the cumulative Stats as `fair_share.*` gauges.
+  /// Connected components of the flow–link sharing graph as of the last
+  /// structural rebuild (0 before the first solve).
+  [[nodiscard]] std::size_t component_count() const noexcept { return comp_count_; }
+
+  /// Logical bytes of the persistent arena: live CSR entries, component
+  /// tables and SoA scratch — sized from live element counts, not vector
+  /// capacities, so the value is a pure function of the current state
+  /// (deterministic across pool sizes and checkpoint resume).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept;
+
+  /// Publishes the cumulative Stats plus the component / arena gauges as
+  /// `fair_share.*`.
   void publish_metrics(obs::MetricRegistry& registry) const;
 
   /// Drops all cached state; the next solve() rebuilds from scratch.
   void invalidate();
 
-  /// Checkpoint hooks. The incremental state is serialized byte-exactly —
-  /// in particular link_flows_ ordering, which is history-dependent
-  /// (reindex_flow erases + appends) and drives the floating-point
-  /// summation order of refill(). Epoch marks and refill scratch are NOT
-  /// serialized: marks are only ever compared for equality against the
-  /// current epoch, so restarting at epoch 0 with zeroed marks is
-  /// behavior-identical. `mask` re-binds the liveness diffing pointer to
-  /// the mask the solver will be driven with after resume (nullptr when
-  /// the run has no fault plan).
+  /// Checkpoint hooks. Serialized: stats, per-flow cached inputs (path,
+  /// effective demand, participation), the liveness snapshot, and the
+  /// previous allocation. Derived flat state — the CSR incidence, the
+  /// reverse link→flow CSR, component labels, and all water-fill scratch —
+  /// resumes cold and is rebuilt at the next solve(); since every
+  /// summation order is canonical, the rebuild cannot perturb a single
+  /// output byte (DESIGN.md §10 cold/warm table, §13). `mask` re-binds the
+  /// liveness diffing pointer to the mask the solver will be driven with
+  /// after resume (nullptr when the run has no fault plan).
   void save_state(snapshot::Writer& writer) const;
   void load_state(snapshot::Reader& reader, const topo::LivenessMask* mask);
 
  private:
-  /// Re-resolves flow f's path into link ids and splices the raw
-  /// incidence lists; returns true when the links changed.
-  void reindex_flow(std::size_t f, const Flow& flow);
+  static constexpr std::uint32_t kNoComp = 0xffffffffU;
+
+  /// Re-resolves flow f's path (from cached_path_[f]) into the CSR slot:
+  /// in place when the new link list fits the old slot, appended to the
+  /// pool tail otherwise. Marks the reverse CSR + components stale.
+  void reindex_flow(std::size_t f);
+  /// Rewrites the incidence pool densely in ascending flow order once the
+  /// dead gaps left by reindex_flow dominate.
+  void compact_incidence();
+  /// Rebuilds the canonical (ascending flow id) link→flow CSR by counting
+  /// sort over the live incidence entries.
+  void rebuild_reverse_csr();
+  /// Labels connected components over *participating* flows (BFS in
+  /// ascending flow order — canonical ids) and rebuilds the component→
+  /// flow / component→link CSRs.
+  void rebuild_components();
   /// Refreshes the cached link-usable bitmap; appends every link whose
   /// usability flipped to `changed_links_`.
   void refresh_liveness(const topo::LivenessMask* liveness);
-  /// Progressive filling restricted to the affected flows (indices in
-  /// `dirty_queue_`), writing rates into result_.flow_rate.
-  void refill(std::span<Flow> flows);
+  /// Event-driven water-fill of dirty component `dirty_comps_[di]`,
+  /// writing only that component's slices of result_ and the SoA scratch.
+  void fill_component(std::size_t di);
+
+  [[nodiscard]] std::span<const std::int32_t> links_of(std::size_t f) const noexcept {
+    return {flow_links_.data() + flow_link_start_[f], flow_link_count_[f]};
+  }
 
   const topo::Topology* topo_;
+  common::ThreadPool* pool_ = nullptr;
   FairShareResult result_;
   Stats stats_;
+  Timings timings_;
   bool force_rebuild_ = true;
 
-  // Cached per-flow state (indexed like the input span).
+  // Cached per-flow inputs (indexed like the input span) — the serialized
+  // warm state everything else is derived from.
   std::vector<std::vector<topo::NodeId>> cached_path_;
-  std::vector<std::vector<topo::LinkId>> flow_links_;  ///< raw path links (liveness-agnostic)
-  std::vector<double> cached_demand_;                  ///< effective demand at last solve
+  std::vector<double> cached_demand_;   ///< effective demand at last solve
   std::vector<char> participates_;      ///< counted in the last allocation
-  std::vector<char> now_participates_;  ///< scratch: valid for closure flows only
 
-  // Raw incidence: every flow whose routed path crosses the link,
-  // regardless of demand or liveness (so status flips stay discoverable).
-  std::vector<std::vector<std::uint32_t>> link_flows_;
+  // CSR flow→link incidence (raw: every routed flow, regardless of demand
+  // or liveness, so status flips stay discoverable). One int32 pool plus
+  // per-flow (start, count); reindex_flow patches slots in place.
+  std::vector<std::uint32_t> flow_link_start_;
+  std::vector<std::uint32_t> flow_link_count_;
+  std::vector<std::int32_t> flow_links_;
+  std::size_t live_link_refs_ = 0;  ///< Σ flow_link_count_ (pool minus dead gaps)
+
+  // Canonical reverse CSR link→flows + sharing-graph components; rebuilt
+  // lazily when stale.
+  bool reverse_stale_ = true;
+  bool comps_stale_ = true;
+  std::vector<std::uint32_t> link_flow_offset_;  ///< link_count + 1
+  std::vector<std::uint32_t> link_flows_;        ///< ascending flow id per link
+  std::uint32_t comp_count_ = 0;
+  std::vector<std::uint32_t> flow_comp_;  ///< kNoComp for non-participating flows
+  std::vector<std::uint32_t> link_comp_;  ///< kNoComp when no participating flow crosses
+  std::vector<std::uint32_t> comp_flow_offset_;
+  std::vector<std::uint32_t> comp_flows_;  ///< ascending flow id within a component
+  std::vector<std::uint32_t> comp_link_offset_;
+  std::vector<std::uint32_t> comp_links_;
+  std::vector<std::uint32_t> comp_edge_count_;  ///< Σ member path lengths
 
   // Liveness snapshot for diffing.
   std::vector<char> link_usable_;
@@ -133,17 +216,36 @@ class FairShareSolver {
   std::uint64_t liveness_version_ = 0;
   bool had_liveness_ = false;
 
-  // Scratch (epoch-marked to avoid per-solve clears).
+  // Solve scratch (epoch-marked to avoid per-solve clears).
   std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> flow_mark_;   ///< epoch when flow became affected
-  std::vector<std::uint32_t> link_mark_;   ///< epoch when link became touched
-  std::vector<std::uint32_t> dirty_queue_;  ///< affected-flow closure worklist
+  std::vector<std::uint32_t> flow_mark_;  ///< epoch when flow became dirty
+  std::vector<std::uint32_t> link_mark_;  ///< epoch when link became touched
+  std::vector<std::uint32_t> comp_mark_;  ///< epoch when component became dirty
+  std::vector<std::uint32_t> dirty_flows_;
   std::vector<topo::LinkId> touched_links_;
   std::vector<topo::LinkId> changed_links_;
-  std::vector<double> avail_;              ///< per-link remaining capacity (refill scratch)
+  std::vector<std::uint32_t> dirty_comps_;
+  std::vector<topo::LinkId> orphan_links_;  ///< touched, no participating flow left
+  std::vector<std::uint32_t> bfs_queue_;
+
+  // Water-fill SoA scratch: per-link / per-flow entries owned by the
+  // component being filled (components are link- and flow-disjoint, so the
+  // parallel fill writes disjoint entries).
+  std::vector<double> frozen_load_;          ///< Σ rates of frozen flows on the link
+  std::vector<double> link_level_;           ///< latest pushed saturation level
   std::vector<std::uint32_t> active_on_link_;
-  std::vector<std::uint32_t> active_;      ///< compact active-flow worklist
-  std::vector<std::uint32_t> next_active_;
+  std::vector<std::uint32_t> flow_frozen_;   ///< epoch when the flow froze
+
+  // Per-dirty-component slices (prefix-summed each solve): the demand-
+  // sorted flow order and the link-event heap storage.
+  struct LinkEvent {
+    double level;
+    std::uint32_t link;
+  };
+  std::vector<std::uint32_t> fill_order_;
+  std::vector<LinkEvent> heap_pool_;
+  std::vector<std::size_t> comp_sort_base_;
+  std::vector<std::size_t> comp_heap_base_;
 };
 
 }  // namespace sheriff::net

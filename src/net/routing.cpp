@@ -27,6 +27,9 @@ constexpr std::size_t kMaxCachedTrees = 4096;
 /// Flow ids above this skip the path cache (keeps the id-indexed table
 /// dense; engine flow tables are far below it).
 constexpr std::size_t kMaxPathCacheFlows = 1u << 20;
+/// Blocked-query results retained per flow (FIFO): reroute probes cycle
+/// through at most a handful of hot switches per flow.
+constexpr std::size_t kMaxBlockedEntriesPerFlow = 4;
 
 /// Walk back from dst, hashing over tight parents: ECMP. Hash depends on
 /// flow id and depth so consecutive flows take different spines. Returns
@@ -175,18 +178,35 @@ bool Router::route(Flow& flow, std::span<const topo::NodeId> blocked) const {
   }
 
   // Resolved-path cache: the ECMP walk is a pure function of (flow id,
-  // src, dst) on a fixed live fabric, so an unblocked repeat query can
-  // return the stored path outright.
-  const bool path_cacheable =
-      cache_enabled_ && blocked.empty() && flow.id < kMaxPathCacheFlows;
+  // src, dst, blocked set) on a fixed live fabric, so a repeat query —
+  // including the blocked probes FLOWREROUTE re-issues round over round,
+  // and probes that found no path under the blocks — can return the
+  // stored outcome outright. A hit is indistinguishable from a recompute.
+  const bool path_cacheable = cache_enabled_ && flow.id < kMaxPathCacheFlows;
+  std::vector<topo::NodeId> blocked_key(blocked.begin(), blocked.end());
+  std::sort(blocked_key.begin(), blocked_key.end());
   if (path_cacheable) {
     std::scoped_lock lock(cache_mutex_);
     if (flow.id < path_cache_.size()) {
-      const PathEntry& entry = path_cache_[flow.id];
-      if (entry.src == flow.src_host && entry.dst == flow.dst_host) {
+      const FlowPathSlot& slot = path_cache_[flow.id];
+      const PathEntry* found = nullptr;
+      if (blocked_key.empty()) {
+        if (slot.plain.src == flow.src_host && slot.plain.dst == flow.dst_host) {
+          found = &slot.plain;
+        }
+      } else {
+        for (const PathEntry& entry : slot.blocked) {
+          if (entry.src == flow.src_host && entry.dst == flow.dst_host &&
+              entry.blocked == blocked_key) {
+            found = &entry;
+            break;
+          }
+        }
+      }
+      if (found != nullptr) {
         ++cache_stats_.path_hits;
-        flow.path = entry.path;
-        return entry.ok;
+        flow.path = found->path;
+        return found->ok;
       }
     }
     ++cache_stats_.path_misses;
@@ -208,11 +228,22 @@ bool Router::route(Flow& flow, std::span<const topo::NodeId> blocked) const {
   if (path_cacheable) {
     std::scoped_lock lock(cache_mutex_);
     if (path_cache_.size() <= flow.id) path_cache_.resize(flow.id + 1);
-    PathEntry& entry = path_cache_[flow.id];
-    entry.src = flow.src_host;
-    entry.dst = flow.dst_host;
-    entry.ok = ok;
-    entry.path = flow.path;
+    FlowPathSlot& slot = path_cache_[flow.id];
+    PathEntry* entry;
+    if (blocked_key.empty()) {
+      entry = &slot.plain;
+    } else {
+      // Small FIFO per flow: reroutes probe at most a few hot switches.
+      if (slot.blocked.size() >= kMaxBlockedEntriesPerFlow) {
+        slot.blocked.erase(slot.blocked.begin());
+      }
+      entry = &slot.blocked.emplace_back();
+      entry->blocked = std::move(blocked_key);
+    }
+    entry->src = flow.src_host;
+    entry->dst = flow.dst_host;
+    entry->ok = ok;
+    entry->path = flow.path;
   }
   return ok;
 }

@@ -14,11 +14,14 @@
 // across flows, FLOWREROUTE blocks the same hot switch for many flows, and
 // migrations re-route a handful of flows per round on an unchanged fabric.
 // The router therefore keeps (a) a shortest-path-tree cache keyed on
-// (source, blocked set) and (b) a resolved-path cache keyed on the flow id
-// and its endpoints (the ECMP hash is a pure function of those). Both are
-// dropped whenever the liveness version moves, so every cached entry is
-// implicitly keyed on the liveness epoch. Disable via set_cache_enabled
-// to get the naive one-Dijkstra-per-query behavior (the bench baseline).
+// (source, blocked set) and (b) a resolved-path cache keyed on the flow
+// id, its endpoints, AND the sorted blocked set (the ECMP walk is a pure
+// function of those on a fixed live fabric) — blocked reroute probes are
+// the queries that actually repeat round over round, and failed probes
+// (no path under the blocks) are cached too. Both caches are dropped
+// whenever the liveness version moves, so every entry is implicitly keyed
+// on the liveness epoch. Disable via set_cache_enabled to get the naive
+// one-Dijkstra-per-query behavior (the bench baseline).
 
 #include <cstdint>
 #include <memory>
@@ -108,13 +111,21 @@ class Router {
     topo::NodeId src = topo::kInvalidNode;
     topo::NodeId dst = topo::kInvalidNode;
     bool ok = false;
+    std::vector<topo::NodeId> blocked;  ///< sorted blocked set of the query
     std::vector<topo::NodeId> path;
+  };
+  /// Per-flow path-cache slot: the unblocked walk plus a small FIFO of
+  /// blocked-query results (reroute probes repeat the same few hot
+  /// switches; failed probes are cached as ok=false entries).
+  struct FlowPathSlot {
+    PathEntry plain;
+    std::vector<PathEntry> blocked;
   };
   bool cache_enabled_ = true;
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<topo::NodeId, std::vector<TreeSlot>> tree_cache_;
   mutable std::size_t tree_cache_entries_ = 0;
-  mutable std::vector<PathEntry> path_cache_;  ///< indexed by FlowId
+  mutable std::vector<FlowPathSlot> path_cache_;  ///< indexed by FlowId
   mutable RouterCacheStats cache_stats_;
 };
 

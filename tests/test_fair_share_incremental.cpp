@@ -4,7 +4,9 @@
 // endpoint migrations, flow-table growth) and check after every step that
 // it matches the from-scratch reference on every flow rate and link load
 // to 1e-9. This is the lockdown for the dirty-set algorithm of DESIGN.md
-// §7 — any missed invalidation shows up as a stale rate here.
+// §7 — any missed invalidation shows up as a stale rate here. The same
+// 50-seed sweep runs on both reference fabrics (Fat-Tree and BCube);
+// liveness flips inside the sequence cover the faulted regime.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +17,7 @@
 #include "net/fair_share.hpp"
 #include "net/flow.hpp"
 #include "net/routing.hpp"
+#include "topology/bcube.hpp"
 #include "topology/fat_tree.hpp"
 #include "topology/liveness.hpp"
 
@@ -32,6 +35,14 @@ topo::Topology contended_fat_tree() {
   options.hosts_per_rack = 2;
   options.tor_agg_gbps = 1.0;  // narrow uplinks: most seeds hit saturation
   return topo::build_fat_tree(options);
+}
+
+topo::Topology contended_bcube() {
+  topo::BCubeOptions options;
+  options.ports = 3;  // BCube(3,2): 27 servers, 3 switch levels
+  options.levels = 2;
+  options.link_gbps = 0.5;  // narrow uniform links: saturation everywhere
+  return topo::build_bcube(options);
 }
 
 net::Flow make_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst, double demand) {
@@ -67,18 +78,18 @@ void expect_matches_reference(const topo::Topology& t, const std::vector<net::Fl
   }
 }
 
-}  // namespace
-
-class FairShareDifferential : public ::testing::TestWithParam<int> {};
-
-TEST_P(FairShareDifferential, IncrementalMatchesFromScratchUnderPerturbations) {
-  sc::Pcg32 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
-  const auto t = contended_fat_tree();
+/// The full perturbation sweep for one (fabric, seed) pair. `flip_kind`
+/// names the switch layer liveness flips and reroute blocks draw from —
+/// core switches on the fat tree, level-1+ switches on BCube (a BCube
+/// server keeps other levels when one switch dies, so the mask never
+/// strands an endpoint for the whole run).
+void run_differential(const topo::Topology& t, topo::NodeKind flip_kind, int seed) {
+  sc::Pcg32 rng(static_cast<std::uint64_t>(seed) * 2654435761ULL + 17);
   net::Router router(t);
   topo::LivenessMask mask(t);
   router.apply_liveness(&mask);
   const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
-  const auto cores = t.nodes_of_kind(topo::NodeKind::kCoreSwitch);
+  const auto cores = t.nodes_of_kind(flip_kind);
 
   std::vector<net::Flow> flows;
   const std::size_t n_flows = 24 + rng.next_below(48);
@@ -181,7 +192,23 @@ TEST_P(FairShareDifferential, IncrementalMatchesFromScratchUnderPerturbations) {
   EXPECT_GT(stats.reused_flows, 0u);
 }
 
+}  // namespace
+
+class FairShareDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareDifferential, IncrementalMatchesFromScratchUnderPerturbations) {
+  run_differential(contended_fat_tree(), topo::NodeKind::kCoreSwitch, GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FairShareDifferential, ::testing::Range(0, 50));
+
+class FairShareDifferentialBCube : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareDifferentialBCube, IncrementalMatchesFromScratchUnderPerturbations) {
+  run_differential(contended_bcube(), topo::NodeKind::kBCubeSwitch, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FairShareDifferentialBCube, ::testing::Range(0, 50));
 
 // A no-op solve must not move a single rate and must reuse every flow.
 TEST(FairShareDifferentialEdge, NoopSolveReusesEverything) {

@@ -1,0 +1,327 @@
+// Lockdown for the flat water-filling kernel (DESIGN.md §13): component
+// decomposition and partial-churn reuse, pool-size invariance of the
+// parallel component fill (solver-level bitwise equality AND engine-level
+// metrics-CSV + checkpoint-byte equality), the parallel_fair_share config
+// flag being a pure throughput knob, and the fair_share.components /
+// fair_share.arena_bytes gauges.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/fair_share.hpp"
+#include "net/flow.hpp"
+#include "net/routing.hpp"
+#include "obs/registry.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "topology/bcube.hpp"
+#include "topology/fat_tree.hpp"
+#include "workload/deployment.hpp"
+
+namespace core = sheriff::core;
+namespace wl = sheriff::wl;
+namespace topo = sheriff::topo;
+namespace net = sheriff::net;
+namespace fault = sheriff::fault;
+namespace sc = sheriff::common;
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+topo::Topology small_fat_tree() {
+  topo::FatTreeOptions options;
+  options.pods = 4;  // 8 racks
+  options.hosts_per_rack = 2;
+  options.tor_agg_gbps = 1.0;
+  return topo::build_fat_tree(options);
+}
+
+net::Flow make_flow(net::FlowId id, topo::NodeId src, topo::NodeId dst, double demand) {
+  net::Flow f;
+  f.id = id;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.demand_gbps = demand;
+  return f;
+}
+
+/// Intra-rack flows only: each rack's flows share that rack's host—ToR
+/// links and nothing else, so every rack is its own connected component of
+/// the flow–link sharing graph. `per_rack` flows between the rack's two
+/// hosts (alternating direction — both directions ride the same undirected
+/// links, so they stay one component).
+std::vector<net::Flow> intra_rack_flows(const topo::Topology& t, const net::Router& router,
+                                        std::size_t per_rack) {
+  std::vector<net::Flow> flows;
+  for (topo::RackId r = 0; r < t.rack_count(); ++r) {
+    const auto& rack = t.rack(r);
+    for (std::size_t i = 0; i < per_rack; ++i) {
+      const topo::NodeId a = rack.hosts[i % 2];
+      const topo::NodeId b = rack.hosts[(i + 1) % 2];
+      flows.push_back(make_flow(static_cast<net::FlowId>(flows.size()), a, b,
+                                0.3 + 0.1 * static_cast<double>(i)));
+    }
+  }
+  router.route_all(flows);
+  return flows;
+}
+
+void expect_matches_reference(const topo::Topology& t, const std::vector<net::Flow>& flows,
+                              const net::FairShareResult& incremental) {
+  std::vector<net::Flow> reference_flows = flows;
+  const auto reference = net::max_min_fair_share(t, reference_flows);
+  ASSERT_EQ(incremental.flow_rate.size(), reference.flow_rate.size());
+  for (std::size_t f = 0; f < reference.flow_rate.size(); ++f) {
+    EXPECT_NEAR(incremental.flow_rate[f], reference.flow_rate[f], kTol) << "flow " << f;
+  }
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    EXPECT_NEAR(incremental.link_load_gbps[l], reference.link_load_gbps[l], kTol)
+        << "link " << l;
+    EXPECT_NEAR(incremental.link_utilization[l], reference.link_utilization[l], kTol)
+        << "link " << l;
+  }
+}
+
+}  // namespace
+
+// --- partial churn -----------------------------------------------------------
+
+// 10% of the flows change demand; the other components' flows must keep
+// their rates without being refilled, and the allocation must still match
+// the from-scratch reference.
+TEST(FairShareKernel, PartialChurnReusesUntouchedComponents) {
+  const auto t = small_fat_tree();
+  net::Router router(t);
+  auto flows = intra_rack_flows(t, router, 5);  // 8 racks × 5 = 40 flows
+
+  net::FairShareSolver solver(t);
+  solver.solve(flows);
+  ASSERT_EQ(solver.component_count(), t.rack_count());
+  const auto before = solver.stats();
+
+  // Churn demand on 4 of 40 flows (10%), all inside rack 0's component.
+  for (std::size_t f = 0; f < 4; ++f) flows[f].demand_gbps *= 1.7;
+  expect_matches_reference(t, flows, solver.solve(flows));
+
+  const auto& after = solver.stats();
+  EXPECT_EQ(after.dirty_flows, before.dirty_flows + 4);
+  // The closure is rack 0's whole component (5 flows); every other
+  // component is reused untouched.
+  EXPECT_EQ(after.affected_flows, before.affected_flows + 5);
+  EXPECT_GT(after.reused_flows, before.reused_flows);
+  EXPECT_EQ(after.reused_flows, before.reused_flows + flows.size() - 5);
+  EXPECT_EQ(after.full_rebuilds, before.full_rebuilds);
+}
+
+// Demand churn that leaves the effective demand unchanged (rate-limited
+// flow) must not dirty anything.
+TEST(FairShareKernel, RateLimitedDemandChurnIsInvisible) {
+  const auto t = small_fat_tree();
+  net::Router router(t);
+  auto flows = intra_rack_flows(t, router, 3);
+  for (auto& f : flows) f.rate_limit_gbps = 0.2;  // below every demand
+
+  net::FairShareSolver solver(t);
+  solver.solve(flows);
+  const auto before = solver.stats();
+  for (auto& f : flows) f.demand_gbps += 1.0;  // effective demand still 0.2
+  solver.solve(flows);
+  EXPECT_EQ(solver.stats().dirty_flows, before.dirty_flows);
+  EXPECT_EQ(solver.stats().reused_flows, before.reused_flows + flows.size());
+}
+
+// --- pool-size invariance ----------------------------------------------------
+
+// The parallel component fill must be BITWISE identical to the serial fill
+// for any pool size. 320 intra-rack flows (8 components × 40) push every
+// solve past the parallel-fill threshold, so pools 2/8 genuinely exercise
+// the parallel_for path.
+TEST(FairShareKernel, SolverResultsAreBitwiseInvariantAcrossPoolSizes) {
+  const auto t = small_fat_tree();
+  net::Router router(t);
+
+  // One churn trace, replayed identically per pool size: per-step demand
+  // scale factors touching a different subset of components each step.
+  const std::size_t steps = 6;
+  std::vector<std::vector<double>> trace_rates;
+  std::vector<std::vector<double>> trace_loads;
+  for (const std::size_t workers : {0u, 1u, 2u, 8u}) {
+    sc::ThreadPool pool(workers == 0 ? 1 : workers);
+    auto flows = intra_rack_flows(t, router, 40);
+    net::FairShareSolver solver(t);
+    if (workers != 0) solver.set_thread_pool(&pool);
+
+    std::vector<std::vector<double>> rates;
+    std::vector<std::vector<double>> loads;
+    for (std::size_t step = 0; step < steps; ++step) {
+      for (std::size_t f = step; f < flows.size(); f += 3) {
+        flows[f].demand_gbps *= 1.0 + 0.05 * static_cast<double>(step + 1);
+      }
+      const auto& result = solver.solve(flows);
+      rates.push_back(result.flow_rate);
+      loads.push_back(result.link_load_gbps);
+    }
+    EXPECT_GT(solver.component_count(), 1u);
+    if (workers == 0) {
+      trace_rates = std::move(rates);
+      trace_loads = std::move(loads);
+    } else {
+      // operator== on vector<double> is bitwise for identical values: any
+      // reordering of FP sums across threads fails here.
+      EXPECT_EQ(rates, trace_rates) << "rates diverged at pool size " << workers;
+      EXPECT_EQ(loads, trace_loads) << "loads diverged at pool size " << workers;
+    }
+  }
+}
+
+// --- engine-level determinism ------------------------------------------------
+
+namespace {
+
+topo::Topology small_bcube() {
+  topo::BCubeOptions options;
+  options.ports = 3;
+  options.levels = 2;
+  return topo::build_bcube(options);
+}
+
+wl::DeploymentOptions kernel_deployment() {
+  wl::DeploymentOptions options;
+  options.seed = 23;
+  options.vms_per_host = 2.5;
+  options.placement = wl::PlacementPolicy::kSkewed;
+  return options;
+}
+
+fault::FaultPlan kernel_fault_plan(const topo::Topology& topology, std::size_t rounds) {
+  fault::FaultOptions options;
+  options.seed = 17;
+  fault::FaultPlan plan(options);
+  plan.fail_link(static_cast<topo::LinkId>(7 % topology.link_count()), 2, rounds / 3);
+  plan.fail_link(static_cast<topo::LinkId>(23 % topology.link_count()), rounds / 3,
+                 2 * rounds / 3);
+  plan.fail_host(topology.rack(1).hosts[0], rounds / 2);
+  return plan;
+}
+
+std::string metrics_csv(const std::vector<core::RoundMetrics>& rounds) {
+  std::ostringstream os;
+  core::write_metrics_csv(os, rounds);
+  return os.str();
+}
+
+/// Runs R rounds at pool sizes 1/2/8 with the parallel fair-share fill on
+/// and requires the metrics CSV and every checkpoint byte to be identical.
+void expect_pool_size_invariance(const topo::Topology& topology, bool faulted) {
+  const std::size_t rounds_n = 120;
+  fault::FaultPlan plan = faulted ? kernel_fault_plan(topology, rounds_n) : fault::FaultPlan{};
+  std::string reference_csv;
+  std::vector<std::uint8_t> reference_checkpoint;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    sc::ThreadPool pool(workers);
+    core::EngineConfig config;
+    config.observe = true;
+    config.pool = &pool;
+    config.parallel_fair_share = true;
+    if (faulted) config.fault_plan = &plan;
+    core::DistributedEngine engine(topology, kernel_deployment(), config);
+    std::vector<core::RoundMetrics> rounds;
+    rounds.reserve(rounds_n);
+    for (std::size_t r = 0; r < rounds_n; ++r) rounds.push_back(engine.run_round());
+    const std::string csv = metrics_csv(rounds);
+    const std::vector<std::uint8_t> checkpoint = core::Checkpoint::serialize(engine);
+    if (workers == 1) {
+      reference_csv = csv;
+      reference_checkpoint = checkpoint;
+    } else {
+      EXPECT_EQ(csv, reference_csv) << "metrics diverged at pool size " << workers;
+      EXPECT_EQ(checkpoint == reference_checkpoint, true)
+          << "checkpoint bytes diverged at pool size " << workers;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(FairShareKernel, FatTreePristineEngineIsPoolSizeInvariant) {
+  expect_pool_size_invariance(small_fat_tree(), false);
+}
+
+TEST(FairShareKernel, FatTreeFaultedEngineIsPoolSizeInvariant) {
+  expect_pool_size_invariance(small_fat_tree(), true);
+}
+
+TEST(FairShareKernel, BCubeFaultedEngineIsPoolSizeInvariant) {
+  expect_pool_size_invariance(small_bcube(), true);
+}
+
+// parallel_fair_share is a throughput knob: flipping it off must not move
+// a byte of the metrics CSV, and the checkpoint fingerprint deliberately
+// excludes it, so a checkpoint from either setting matches the other.
+TEST(FairShareKernel, ParallelFlagDoesNotChangeResults) {
+  const auto topology = small_fat_tree();
+  const std::size_t rounds_n = 80;
+  std::string reference_csv;
+  std::vector<std::uint8_t> reference_checkpoint;
+  for (const bool parallel : {false, true}) {
+    sc::ThreadPool pool(4);
+    core::EngineConfig config;
+    config.observe = true;
+    config.pool = &pool;
+    config.parallel_fair_share = parallel;
+    core::DistributedEngine engine(topology, kernel_deployment(), config);
+    std::vector<core::RoundMetrics> rounds;
+    for (std::size_t r = 0; r < rounds_n; ++r) rounds.push_back(engine.run_round());
+    const std::string csv = metrics_csv(rounds);
+    const std::vector<std::uint8_t> checkpoint = core::Checkpoint::serialize(engine);
+    if (!parallel) {
+      reference_csv = csv;
+      reference_checkpoint = checkpoint;
+    } else {
+      EXPECT_EQ(csv, reference_csv);
+      EXPECT_EQ(checkpoint == reference_checkpoint, true);
+    }
+  }
+}
+
+// --- observability -----------------------------------------------------------
+
+TEST(FairShareKernel, PublishesComponentAndArenaGauges) {
+  const auto t = small_fat_tree();
+  net::Router router(t);
+  auto flows = intra_rack_flows(t, router, 3);
+  net::FairShareSolver solver(t);
+  solver.solve(flows);
+
+  sheriff::obs::MetricRegistry registry;
+  solver.publish_metrics(registry);
+  const auto* components = registry.find_gauge("fair_share.components");
+  const auto* arena = registry.find_gauge("fair_share.arena_bytes");
+  ASSERT_NE(components, nullptr);
+  ASSERT_NE(arena, nullptr);
+  EXPECT_EQ(components->value(), static_cast<double>(t.rack_count()));
+  EXPECT_EQ(arena->value(), static_cast<double>(solver.arena_bytes()));
+  EXPECT_GT(solver.arena_bytes(), 0u);
+}
+
+// The engine's phase profile splits the fair-share time into build + fill
+// once the incremental solver is on.
+TEST(FairShareKernel, PhaseProfileSplitsBuildAndFill) {
+  const auto topology = small_fat_tree();
+  sc::ThreadPool pool(2);
+  core::EngineConfig config;
+  config.pool = &pool;
+  core::DistributedEngine engine(topology, kernel_deployment(), config);
+  for (std::size_t r = 0; r < 10; ++r) engine.run_round();
+  const core::PhaseProfile& profile = engine.phase_profile();
+  EXPECT_GT(profile.fair_share_build_ns + profile.fair_share_fill_ns, 0u);
+  EXPECT_LE(profile.fair_share_build_ns + profile.fair_share_fill_ns, profile.fair_share_ns);
+}

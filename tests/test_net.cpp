@@ -93,6 +93,67 @@ TEST(Routing, SelfFlowRejected) {
   EXPECT_FALSE(flow.routed());
 }
 
+// Steady state on a static topology: re-routing the same flow table must
+// be served from the resolved-path cache, returning identical paths.
+TEST(Routing, PathCacheHitsOnSteadyStateQueries) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  const auto hosts = t.nodes_of_kind(topo::NodeKind::kHost);
+  std::vector<net::Flow> flows;
+  for (net::FlowId id = 0; id < 16; ++id) {
+    flows.push_back(make_flow(id, hosts[id % hosts.size()],
+                              hosts[(id * 7 + 3) % hosts.size()], 0.5));
+  }
+  router.route_all(flows);
+  const std::size_t misses_after_warmup = router.cache_stats().path_misses;
+  EXPECT_EQ(router.cache_stats().path_hits, 0u);
+
+  std::vector<std::vector<topo::NodeId>> first_paths;
+  for (const auto& f : flows) first_paths.push_back(f.path);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    router.route_all(flows);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      EXPECT_EQ(flows[i].path, first_paths[i]) << "flow " << i;
+    }
+  }
+  EXPECT_EQ(router.cache_stats().path_misses, misses_after_warmup);
+  EXPECT_GT(router.cache_stats().path_hits, 0u);
+}
+
+// Blocked reroute probes are the queries that repeat round over round:
+// both successful probes and probes that found no path must be cached,
+// keyed on the sorted blocked set.
+TEST(Routing, PathCacheServesBlockedProbes) {
+  const auto t = small_fat_tree();
+  const net::Router router(t);
+  const topo::NodeId src = t.rack(0).hosts[0];
+  const topo::NodeId dst = t.rack(t.rack_count() - 1).hosts[0];
+  auto flow = make_flow(9, src, dst, 1.0);
+  ASSERT_TRUE(router.route(flow));
+  ASSERT_GE(flow.path.size(), 3u);
+
+  // Block the core the flow transits (the path midpoint on a cross-pod
+  // route): the probe must detour around it, and the repeat must be a
+  // cache hit returning the identical detour.
+  const std::vector<topo::NodeId> blocked{flow.path[flow.path.size() / 2]};
+  ASSERT_TRUE(router.route(flow, blocked));
+  const auto detour = flow.path;
+  EXPECT_EQ(std::find(detour.begin(), detour.end(), blocked[0]), detour.end());
+  const std::size_t hits_before = router.cache_stats().path_hits;
+  ASSERT_TRUE(router.route(flow, blocked));
+  EXPECT_EQ(flow.path, detour);
+  EXPECT_EQ(router.cache_stats().path_hits, hits_before + 1);
+
+  // A probe with every egress blocked fails — and the failure itself is
+  // cached, so the repeat doesn't recompute a doomed Dijkstra.
+  auto local = make_flow(10, t.rack(0).hosts[0], t.rack(0).hosts[1], 1.0);
+  const std::vector<topo::NodeId> wall{t.rack(0).tor};
+  EXPECT_FALSE(router.route(local, wall));
+  const std::size_t hits_mid = router.cache_stats().path_hits;
+  EXPECT_FALSE(router.route(local, wall));
+  EXPECT_EQ(router.cache_stats().path_hits, hits_mid + 1);
+}
+
 TEST(FairShare, SingleFlowGetsMinOfDemandAndBottleneck) {
   const auto t = small_fat_tree();
   const net::Router router(t);

@@ -7,10 +7,11 @@ Compares a freshly produced BENCH_scale.json against the committed baseline
 cancels out hardware speed and transfers across CI runners, while absolute
 rounds/sec would not.
 
-Two ratios are gated per scenario:
+Three ratios are gated per scenario:
 
   speedup       end-to-end rounds/sec, optimized vs naive
   manage_ratio  manage-phase wall time, naive vs optimized (schema v2)
+  net_ratio     fair-share + routing wall time, naive vs optimized (schema v4)
 
 A scenario passes when
 
@@ -22,7 +23,11 @@ baseline.v1 schema (no manage fields) and bench outputs in the old v1
 schema (no manage_ratio) are accepted — the manage gate is simply skipped,
 so the script stays usable against historical artifacts. Schema v3 adds
 per-shard manage timings (phases_ns.manage_shard_propose / manage_commit);
-they are informational here, the gated ratios are unchanged.
+they are informational here, the gated ratios are unchanged. Schema v4 adds
+the network hot path: per-scenario `net_ratio` (naive vs optimized
+fair_share + routing wall time, gated when the baseline records a
+`min_net_ratio`) plus informational fair_share build/fill sub-phase
+timings and component/arena gauges.
 
 A scenario named in the baseline but absent from the bench output is a hard
 FAIL before any ratio check, with the set difference spelled out — a bench
@@ -39,11 +44,13 @@ BENCH_SCHEMAS = (
     "sheriff.bench_scale.v1",
     "sheriff.bench_scale.v2",
     "sheriff.bench_scale.v3",
+    "sheriff.bench_scale.v4",
 )
 BASELINE_SCHEMAS = (
     "sheriff.bench_scale.baseline.v1",
     "sheriff.bench_scale.baseline.v2",
     "sheriff.bench_scale.baseline.v3",
+    "sheriff.bench_scale.baseline.v4",
 )
 
 
@@ -102,18 +109,22 @@ def main() -> None:
             name, "speedup", float(got["speedup"]), ref["speedup"], ref["min_speedup"],
             tolerance, violations,
         )
-        if "min_manage_ratio" not in ref:
-            continue  # baseline.v1: no manage gate recorded
-        if "manage_ratio" not in got:
-            violations.append(
-                f"{name}: baseline gates manage_ratio but {current_path} has none "
-                "(bench output predates schema v2?)"
+        for label, min_key, schema_hint in (
+            ("manage_ratio", "min_manage_ratio", "v2"),
+            ("net_ratio", "min_net_ratio", "v4"),
+        ):
+            if min_key not in ref:
+                continue  # older baseline: this gate not recorded
+            if label not in got:
+                violations.append(
+                    f"{name}: baseline gates {label} but {current_path} has none "
+                    f"(bench output predates schema {schema_hint}?)"
+                )
+                continue
+            check_ratio(
+                name, label, float(got[label]), ref[label], ref[min_key],
+                tolerance, violations,
             )
-            continue
-        check_ratio(
-            name, "manage_ratio", float(got["manage_ratio"]), ref["manage_ratio"],
-            ref["min_manage_ratio"], tolerance, violations,
-        )
 
     for name in measured:
         if name not in baseline["scenarios"]:

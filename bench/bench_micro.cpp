@@ -1,17 +1,21 @@
 // Micro-benchmarks (google-benchmark) of the algorithmic kernels Sheriff
 // leans on: Floyd–Warshall, Dijkstra, Hungarian matching, max–min fair
-// share, k-median local search, the knapsack, and ARIMA/NARNET fitting.
+// share, k-median local search, the knapsack, ARIMA/NARNET fitting, and
+// the Eq. (1) migration decision kernel (surface build / per-candidate
+// eval / bound-pruned sweep).
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
+#include "bench_support.hpp"
 #include "common/rng.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/floyd_warshall.hpp"
 #include "graph/kmedian.hpp"
 #include "graph/knapsack.hpp"
 #include "graph/matching.hpp"
+#include "migration/cost_model.hpp"
 #include "net/fair_share.hpp"
 #include "net/queueing.hpp"
 #include "net/rate_control.hpp"
@@ -21,6 +25,7 @@
 #include "timeseries/narnet.hpp"
 #include "timeseries/simulate.hpp"
 #include "topology/fat_tree.hpp"
+#include "workload/deployment.hpp"
 #include "workload/trace_generator.hpp"
 
 namespace {
@@ -243,6 +248,130 @@ void BM_QcnControllerUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QcnControllerUpdate)->Arg(256)->Arg(1024);
+
+// Shared fixture for the Eq. (1) decision-kernel benches: a k=8 Fat-Tree
+// with the Sec. VI-B oversubscribed ToR uplinks, a bench-standard VM
+// population, routed flows, and one fair-share allocation installed as the
+// cost model's bandwidth state — the exact inputs the manage phase hands
+// the kernel each round.
+struct CostKernelScenario {
+  topo::Topology topo;
+  wl::Deployment deployment;
+  std::vector<topo::NodeId> hosts;
+  std::vector<net::Flow> flows;
+  net::FairShareResult shares;
+  std::vector<wl::VmId> alerted;
+
+  CostKernelScenario()
+      : topo([] {
+          topo::FatTreeOptions options;
+          options.pods = 8;
+          options.tor_agg_gbps = 1.0;
+          return topo::build_fat_tree(options);
+        }()),
+        deployment(topo, bench::bench_deployment_options(2015)),
+        hosts(topo.nodes_of_kind(topo::NodeKind::kHost)) {
+    const net::Router router(topo);
+    common::Pcg32 rng(7);
+    for (net::FlowId id = 0; id < net::FlowId{1024}; ++id) {
+      net::Flow f;
+      f.id = id;
+      f.src_host = rng.pick(hosts);
+      f.dst_host = rng.pick(hosts);
+      if (f.src_host == f.dst_host) continue;
+      f.demand_gbps = rng.uniform(0.05, 1.5);
+      flows.push_back(f);
+    }
+    router.route_all(flows);
+    shares = net::max_min_fair_share(topo, flows);
+    // 5 % of the VMs alerted, as the Sec. VI-B experiments assume.
+    for (std::size_t id = 0; id < deployment.vm_count(); id += 20) {
+      alerted.push_back(static_cast<wl::VmId>(id));
+    }
+  }
+};
+
+const CostKernelScenario& cost_kernel_scenario() {
+  static const CostKernelScenario scenario;
+  return scenario;
+}
+
+mig::CostParams cost_kernel_params() {
+  mig::CostParams params;
+  params.computing_cost = 100.0;
+  return params;
+}
+
+void configure_cost_kernel_model(mig::MigrationCostModel& model, const CostKernelScenario& s,
+                                 bool surface) {
+  model.set_partner_rooted(true);
+  model.set_shared_leaf_trees(true);
+  model.set_surface_enabled(surface);
+  model.set_bandwidth_state(&s.shares);
+}
+
+// Cost of the once-per-round SoA snapshot (set_bandwidth_state with the
+// surface on rebuilds it); the price every surfaced evaluation amortizes.
+void BM_CostKernelSurfaceBuild(benchmark::State& state) {
+  const CostKernelScenario& s = cost_kernel_scenario();
+  mig::MigrationCostModel model(s.topo, s.deployment, cost_kernel_params());
+  configure_cost_kernel_model(model, s, true);
+  for (auto _ : state) {
+    model.set_bandwidth_state(&s.shares);
+    benchmark::DoNotOptimize(model.stats().surface_builds);
+  }
+}
+BENCHMARK(BM_CostKernelSurfaceBuild);
+
+// Per-candidate Eq. (1) evaluation: Arg(0) = legacy per-link walk over the
+// shares vectors, Arg(1) = the flat CostSurface kernel (bit-identical
+// costs; the speedup is the point).
+void BM_CostKernelEval(benchmark::State& state) {
+  const CostKernelScenario& s = cost_kernel_scenario();
+  mig::MigrationCostModel model(s.topo, s.deployment, cost_kernel_params());
+  configure_cost_kernel_model(model, s, state.range(0) != 0);
+  common::Pcg32 rng(11);
+  std::vector<std::pair<wl::VmId, topo::NodeId>> pairs;
+  for (int i = 0; i < 256; ++i) pairs.emplace_back(rng.pick(s.alerted), rng.pick(s.hosts));
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const auto& [vm, dest] : pairs) sum += model.cost(vm, dest).total();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CostKernelEval)->Arg(0)->Arg(1);
+
+// The single-VM matching sweep the regional shims run: one alerted VM
+// against every host. Arg(0) = exhaustive (evaluate all), Arg(1) = the
+// admissible-bound scan propose_matching uses (same argmin, fewer full
+// evaluations).
+void BM_CostKernelPrunedSweep(benchmark::State& state) {
+  const CostKernelScenario& s = cost_kernel_scenario();
+  mig::MigrationCostModel model(s.topo, s.deployment, cost_kernel_params());
+  configure_cost_kernel_model(model, s, true);
+  const bool prune = state.range(0) != 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const wl::VmId vm = s.alerted[i++ % s.alerted.size()];
+    double best = graph::AssignmentProblem::kForbidden;
+    for (const topo::NodeId dest : s.hosts) {
+      if (prune) {
+        double base = 0.0;
+        if (model.provably_infeasible(vm, dest) ||
+            model.candidate_lower_bound(vm, dest, &base) >= best) {
+          continue;
+        }
+        const double cost = model.total_cost_with_base(vm, dest, base);
+        if (cost < best) best = cost;
+        continue;
+      }
+      const double cost = model.total_cost(vm, dest);
+      if (cost < best) best = cost;
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_CostKernelPrunedSweep)->Arg(0)->Arg(1);
 
 void BM_FatTreeBuild(benchmark::State& state) {
   topo::FatTreeOptions options;

@@ -2,8 +2,10 @@
 // fair share, one Dijkstra per routing query, cost-model trees discarded
 // every round — the pre-optimization behavior) and optimized (incremental
 // FairShareSolver, router tree/path caches, retained + partner-rooted +
-// leaf-shared cost trees, fast k-median) on the evaluation fabrics, and
-// report rounds/sec, per-phase wall time, and the speedup. Emits machine-readable BENCH_scale.json next to the table; the
+// leaf-shared cost trees, fast k-median, per-round cost surface with
+// bound-guarded pruning, parallel workload advance) on the evaluation
+// fabrics, and report rounds/sec, per-phase wall time, and the speedup.
+// Emits machine-readable BENCH_scale.json next to the table; the
 // CI perf gate (tools/check_bench_scale.py) compares the *ratios* — they
 // are machine-independent — against bench/baselines/BENCH_scale_baseline.json.
 //
@@ -52,8 +54,9 @@ struct ScenarioResult {
   RunResult naive;
   RunResult optimized;
   double speedup = 0.0;
-  double manage_ratio = 0.0;  ///< naive manage_ns / optimized manage_ns
-  double net_ratio = 0.0;     ///< naive (fair_share+route) / optimized (fair_share+route)
+  double manage_ratio = 0.0;   ///< naive manage_ns / optimized manage_ns
+  double net_ratio = 0.0;      ///< naive (fair_share+route) / optimized (fair_share+route)
+  double decision_ratio = 0.0; ///< naive manage_decision_ns / optimized manage_decision_ns
 };
 
 RunResult run_engine(const Scenario& scenario, bool optimized, std::size_t* vms,
@@ -87,6 +90,7 @@ void emit_phases(std::ostream& os, const core::PhaseProfile& p, const char* inde
      << "\"queue\": " << p.queue_ns << ", "
      << "\"predict\": " << p.predict_ns << ", "
      << "\"manage\": " << p.manage_ns << ", "
+     << "\"manage_decision\": " << p.manage_decision_ns << ", "
      << "\"manage_kmedian\": " << p.manage_kmedian_ns << ", "
      << "\"manage_schedule\": " << p.manage_schedule_ns << ", "
      << "\"manage_commit\": " << p.manage_commit_ns << ", "
@@ -154,6 +158,11 @@ int main(int argc, char** argv) {
                                static_cast<double>(r.optimized.phases.manage_ns)
                          : 0.0;
     r.net_ratio = r.optimized.net_ns() > 0.0 ? r.naive.net_ns() / r.optimized.net_ns() : 0.0;
+    r.decision_ratio =
+        r.optimized.phases.manage_decision_ns > 0
+            ? static_cast<double>(r.naive.phases.manage_decision_ns) /
+                  static_cast<double>(r.optimized.phases.manage_decision_ns)
+            : 0.0;
     std::cout << "  optimized: " << r.optimized.rounds_per_sec << " rounds/s ("
               << r.optimized.seconds << " s)\n"
               << "  speedup:   " << std::setprecision(2) << r.speedup << "x"
@@ -166,7 +175,10 @@ int main(int argc, char** argv) {
               << " ms of build+fill "
               << (r.optimized.phases.fair_share_build_ns +
                   r.optimized.phases.fair_share_fill_ns) / 1e6
-              << " ms)\n";
+              << " ms)\n"
+              << "  decision:  " << r.decision_ratio << "x (Eq.(1) kernel "
+              << r.naive.phases.manage_decision_ns / 1e6 << " ms -> "
+              << r.optimized.phases.manage_decision_ns / 1e6 << " ms)\n";
     if (s.shard_ablation) {
       const core::PhaseProfile& ph = r.optimized.phases;
       std::uint64_t propose_total = 0;
@@ -180,7 +192,7 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream os(out_path);
-  os << "{\n  \"schema\": \"sheriff.bench_scale.v4\",\n  \"scenarios\": [\n";
+  os << "{\n  \"schema\": \"sheriff.bench_scale.v5\",\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
     os << "  {\n"
@@ -195,6 +207,7 @@ int main(int argc, char** argv) {
     emit_run(os, r.optimized, "optimized", true);
     os << ",\n    \"speedup\": " << r.speedup << ",\n    \"manage_ratio\": " << r.manage_ratio
        << ",\n    \"net_ratio\": " << r.net_ratio
+       << ",\n    \"decision_ratio\": " << r.decision_ratio
        << "\n  }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

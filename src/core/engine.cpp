@@ -35,6 +35,20 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
   cost_model_.set_tree_cache_retained(config_.retain_cost_trees);
   cost_model_.set_partner_rooted(config_.partner_rooted_costs);
   cost_model_.set_shared_leaf_trees(config_.shared_leaf_cost_trees);
+  cost_model_.set_surface_enabled(config_.cost_surface);
+  cost_model_.set_pruning_enabled(config_.cost_pruning);
+  if (config_.retain_cost_trees && config_.prewarm_cost_rows) {
+    // Startup, not round, time: the ToR-rooted distance rows (and their
+    // rack-prefix link memos) derive from the immutable pristine topology
+    // only, so build them all here — the first manage round's decision
+    // sweep then runs entirely against warm rows. Bit-identical to lazy
+    // construction; profiling showed the cold builds were ~75% of the
+    // first-round decision time on the k=24 fabric.
+    for (topo::RackId r = 0; r < topo.rack_count(); ++r) {
+      const topo::NodeId tor = topo.rack(r).tor;
+      if (tor != topo::kInvalidNode) (void)cost_model_.distance_tree(tor);
+    }
+  }
   // SHERIFF_FORCE_AUDIT=1 (the CI sanitizer job sets it) turns the
   // invariant auditor on in fail-fast mode for every engine, so the whole
   // tier-1 suite hard-fails on any conservation-law breach.
@@ -111,6 +125,9 @@ DistributedEngine::DistributedEngine(const topo::Topology& topo,
       KMedianPlannerOptions planner_options;
       planner_options.pool = config_.fast_kmedian ? &worker_pool() : nullptr;
       planner_options.liveness = injector_ != nullptr ? &injector_->liveness() : nullptr;
+      // Pristine fabrics share the cost model's distance rows (identical
+      // values, one source of truth); faulted ones need masked sweeps.
+      planner_options.shared_rows = injector_ == nullptr ? &cost_model_ : nullptr;
       kmedian_planner_ = std::make_unique<KMedianPlanner>(topo, planner_options);
       kmedian_planner_view_ = kmedian_planner_.get();
     }
@@ -228,7 +245,12 @@ void DistributedEngine::build_flows() {
 void DistributedEngine::update_flow_demands() {
   for (std::size_t f = 0; f < flows_.size(); ++f) {
     const double trf = deployment_.vm(flow_owner_[f]).profile[wl::Feature::kTraffic];
-    flows_[f].demand_gbps = config_.flow_demand_scale_gbps * trf;
+    const double demand = config_.flow_demand_scale_gbps * trf;
+    // Skip-write unchanged demands: the incremental fair-share solver's
+    // dirty detection is value-based, so an equal store would be re-marked
+    // clean anyway — but leaving the field untouched keeps this loop
+    // honest about churn and lets the solver report reused_flows.
+    if (flows_[f].demand_gbps != demand) flows_[f].demand_gbps = demand;
   }
 }
 
@@ -276,7 +298,7 @@ RoundMetrics DistributedEngine::run_round() {
   //    migrated endpoints.
   {
     PhaseTimer timer(profile_.workload_ns);
-    deployment_.advance();
+    deployment_.advance(config_.parallel_workload ? &worker_pool() : nullptr);
     for (std::size_t f = 0; f < flows_.size(); ++f) {
       net::Flow& flow = flows_[f];
       const topo::NodeId src = deployment_.vm(flow_owner_[f]).host;
@@ -511,7 +533,11 @@ RoundMetrics DistributedEngine::run_round() {
           config_.fault_plan != nullptr ? config_.fault_plan->options().max_protocol_retries
                                         : 0,
           hub_ != nullptr ? &hub_->trace() : nullptr);
-      const auto outcome = protocol.run(std::move(demands));
+      ProtocolResult outcome;
+      {
+        PhaseTimer decision_timer(profile_.manage_decision_ns);
+        outcome = protocol.run(std::move(demands));
+      }
       account_plan(outcome.plan);
       count_recoveries(outcome.plan);
       metrics.protocol_conflicts += outcome.conflicts;
@@ -529,6 +555,9 @@ RoundMetrics DistributedEngine::run_round() {
         commit_proposals(proposals, metrics, [&](topo::RackId mgr, std::vector<wl::VmId> set) {
           VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
                                          config_.sheriff.max_matching_rounds);
+          // Decision time nests inside manage_commit_ns on this path (the
+          // scheduler runs in the serial commit pass).
+          PhaseTimer decision_timer(profile_.manage_decision_ns);
           account_plan(
               scheduler.migrate(std::move(set), shims_[mgr].migration_targets(deployment_)));
         });
@@ -539,8 +568,12 @@ RoundMetrics DistributedEngine::run_round() {
         if (mgr == topo::kInvalidRack) continue;
         VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
                                        config_.sheriff.max_matching_rounds);
-        const auto plan = scheduler.migrate(std::move(orphans_by_rack[r]),
-                                            shims_[mgr].migration_targets(deployment_));
+        MigrationPlan plan;
+        {
+          PhaseTimer decision_timer(profile_.manage_decision_ns);
+          plan = scheduler.migrate(std::move(orphans_by_rack[r]),
+                                   shims_[mgr].migration_targets(deployment_));
+        }
         account_plan(plan);
         count_recoveries(plan);
       }
@@ -569,6 +602,7 @@ RoundMetrics DistributedEngine::run_round() {
           if (!selection.migration_set.empty()) {
             VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
                                            config_.sheriff.max_matching_rounds);
+            PhaseTimer decision_timer(profile_.manage_decision_ns);
             account_plan(scheduler.migrate(std::move(selection.migration_set),
                                            shims_[mgr].migration_targets(deployment_)));
           }
@@ -580,8 +614,12 @@ RoundMetrics DistributedEngine::run_round() {
         if (mgr == topo::kInvalidRack) continue;
         VmMigrationScheduler scheduler(deployment_, cost_model_, broker,
                                        config_.sheriff.max_matching_rounds);
-        const auto plan = scheduler.migrate(std::move(orphans_by_rack[r]),
-                                            shims_[mgr].migration_targets(deployment_));
+        MigrationPlan plan;
+        {
+          PhaseTimer decision_timer(profile_.manage_decision_ns);
+          plan = scheduler.migrate(std::move(orphans_by_rack[r]),
+                                   shims_[mgr].migration_targets(deployment_));
+        }
         account_plan(plan);
         count_recoveries(plan);
       }
@@ -634,12 +672,16 @@ RoundMetrics DistributedEngine::run_round() {
       const KMedianMigrationManager::Stats& stats = kmedian_manager_->stats();
       const std::uint64_t kmedian_before = stats.kmedian_ns;
       const std::uint64_t schedule_before = stats.schedule_ns;
-      plan = kmedian_manager_->migrate(std::move(global_set));
+      {
+        PhaseTimer decision_timer(profile_.manage_decision_ns);
+        plan = kmedian_manager_->migrate(std::move(global_set));
+      }
       profile_.manage_kmedian_ns += stats.kmedian_ns - kmedian_before;
       profile_.manage_schedule_ns += stats.schedule_ns - schedule_before;
     } else {
       CentralizedManager manager(deployment_, cost_model_, config_.sheriff);
       if (injector_ != nullptr) manager.set_liveness(&injector_->liveness());
+      PhaseTimer decision_timer(profile_.manage_decision_ns);
       plan = manager.migrate(std::move(global_set));
     }
     count_recoveries(plan);
@@ -785,6 +827,17 @@ void DistributedEngine::publish_round(const RoundMetrics& metrics,
     published_kmedian_stats_ = stats;
     published_planner_rebuilds_ = kmedian_planner_view_->rebuilds();
   }
+  {
+    // Per-round deltas of the decision-kernel counters. The pruning-
+    // losslessness identity (evaluated_on + pruned_on == evaluated_off,
+    // pruned_off == 0) is checked in tests over these published values.
+    const mig::CostModelStats cost = cost_model_.stats();
+    registry.counter("cost.evaluated").add(cost.evaluated - published_cost_stats_.evaluated);
+    registry.counter("cost.pruned").add(cost.pruned - published_cost_stats_.pruned);
+    registry.counter("cost.surface_builds")
+        .add(cost.surface_builds - published_cost_stats_.surface_builds);
+    published_cost_stats_ = cost;
+  }
   if (config_.incremental_fair_share) solver_.publish_metrics(registry);
   router_.publish_metrics(registry);
   queues_.publish_metrics(registry);
@@ -864,6 +917,9 @@ void DistributedEngine::save_state(snapshot::Writer& writer) const {
   // sharded_manage is semantics-bearing (legacy interleaved sweep vs
   // two-phase commit), so it fingerprints; manage_shards does not — the
   // shard count never changes results, exactly like the pool size.
+  // cost_surface / cost_pruning / prewarm_cost_rows / parallel_workload
+  // are results-identical accelerations (bitwise-equal selections and
+  // traces) and are likewise excluded.
   writer.put_bool(config_.sharded_manage);
   writer.put_bool(injector_ != nullptr);
   writer.put_bool(channel_ != nullptr);
@@ -1188,6 +1244,9 @@ void DistributedEngine::load_state(snapshot::Reader& reader) {
     published_kmedian_stats_ = kmedian_manager_->stats();
     published_planner_rebuilds_ = kmedian_planner_view_->rebuilds();
   }
+  // Same re-baseline for the decision-kernel counters (the cost model's
+  // counters are process-local, never serialized).
+  published_cost_stats_ = cost_model_.stats();
 }
 
 }  // namespace sheriff::core

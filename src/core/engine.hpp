@@ -99,6 +99,30 @@ struct EngineConfig {
   /// kKMedian mode: delta-evaluated fast local search + liveness-gated
   /// planner row reuse; off = reference solver + per-round planner rebuild.
   bool fast_kmedian = true;
+  /// Per-round CostSurface: per-link bandwidth/utilization SoA snapshotted
+  /// once from the fair-share result + rack-keyed path-link memos, so
+  /// Eq. (1) evaluates as a flat array kernel. Bit-transparent (the flat
+  /// kernel replays the legacy FP ops in order), so like the caches it is
+  /// excluded from the checkpoint fingerprint.
+  bool cost_surface = true;
+  /// Bound-guarded candidate pruning in the matching sweeps: an exact,
+  /// admissible lower bound skips dominated (VM, destination) pairs
+  /// without ever changing the argmin (selections are bitwise identical
+  /// with it on or off — only the cost.evaluated/cost.pruned counter split
+  /// moves). Excluded from the checkpoint fingerprint.
+  bool cost_pruning = true;
+  /// Eagerly build the cost model's ToR-rooted distance rows at engine
+  /// construction instead of lazily inside the first manage round. The
+  /// rows depend only on the immutable pristine topology (like the
+  /// k-median planner's matrix, which is already built eagerly), so this
+  /// moves a one-time startup cost out of the decision path; the rows
+  /// themselves are bit-identical either way. Only meaningful with
+  /// retain_cost_trees. Excluded from the checkpoint fingerprint.
+  bool prewarm_cost_rows = true;
+  /// Workload trace advance swept across the worker pool. Each VM owns its
+  /// counter-seeded RNG streams, so the sweep is bit-identical at any pool
+  /// size — excluded from the checkpoint fingerprint like manage_shards.
+  bool parallel_workload = true;
   /// Regional sharding of the manage phase (kSheriff mode, DESIGN.md §11):
   /// shims are grouped into deterministic contiguous rack shards, each
   /// shard's alert dispatch + reroute/migration planning runs as one
@@ -198,6 +222,12 @@ struct PhaseProfile {
   /// the serial ordered commit. Empty/zero on the legacy sweep.
   std::vector<std::uint64_t> manage_shard_propose_ns;
   std::uint64_t manage_commit_ns = 0;
+  /// Migration decision kernel inside manage_ns: protocol matching runs,
+  /// scheduler/manager migrate calls — the Eq. (1) evaluation load, as
+  /// opposed to the kmedian solve and the sharded commit bookkeeping.
+  /// (On the sharded-FCFS path the scheduler runs inside the commit pass,
+  /// so there decision time is also part of manage_commit_ns.)
+  std::uint64_t manage_decision_ns = 0;
   std::size_t rounds = 0;
 };
 
@@ -290,8 +320,9 @@ class DistributedEngine {
   /// constructed engine over the *same* (topology, deployment options,
   /// config) — constructor-derived structure (VM population, dependency
   /// graph, flow table shape, shims) is validated via a fingerprint, not
-  /// serialized. Caches (router trees/paths, cost-model Dijkstra trees)
-  /// resume cold: they are rebuilt on demand and never change results.
+  /// serialized. Caches (router trees/paths, cost-model Dijkstra trees and
+  /// rack-prefix link memos, the per-round cost surface) resume cold: they
+  /// are rebuilt on demand and never change results.
   /// The fault injector is restored by replaying its plan up to the saved
   /// round (trace-detached), which reproduces the LivenessMask bit for bit
   /// including its version counter. After load_state, run_round() continues
@@ -365,6 +396,7 @@ class DistributedEngine {
   /// Last stats snapshot published to the metric registry (delta counters).
   KMedianMigrationManager::Stats published_kmedian_stats_;
   std::size_t published_planner_rebuilds_ = 0;
+  mig::CostModelStats published_cost_stats_;
 };
 
 }  // namespace sheriff::core

@@ -8,6 +8,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/floyd_warshall.hpp"
 #include "graph/kmedian_fast.hpp"
+#include "migration/cost_model.hpp"
 #include "migration/request.hpp"
 #include "obs/timing.hpp"
 
@@ -40,6 +41,18 @@ void KMedianPlanner::rebuild() {
     for (topo::RackId r = 0; r < racks; ++r) {
       for (topo::RackId c = 0; c < racks; ++c) {
         distances_.set(r, c, apsp.distance.at(topo_->rack(r).tor, topo_->rack(c).tor));
+      }
+    }
+  } else if (mask == nullptr && options_.shared_rows != nullptr) {
+    // Shared rows: the cost model's distance cache holds the same per-ToR
+    // Dijkstra trees on the same unmasked distance graph — read them
+    // instead of sweeping again, so ToR distances have one source of
+    // truth. Masked rebuilds keep their own sweep (the shared rows are
+    // pristine by construction).
+    for (topo::RackId r = 0; r < racks; ++r) {
+      const auto& tree = options_.shared_rows->distance_tree(topo_->rack(r).tor);
+      for (topo::RackId c = 0; c < racks; ++c) {
+        distances_.set(r, c, tree.distance[topo_->rack(c).tor]);
       }
     }
   } else {

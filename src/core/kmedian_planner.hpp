@@ -27,6 +27,10 @@ namespace sheriff::common {
 class ThreadPool;
 }
 
+namespace sheriff::mig {
+class MigrationCostModel;
+}
+
 namespace sheriff::core {
 
 struct KMedianPlan {
@@ -49,6 +53,12 @@ struct KMedianPlannerOptions {
   /// and refresh() rebuilds the rows when the mask's version moves. The
   /// mask must outlive the planner.
   const topo::LivenessMask* liveness = nullptr;
+  /// One source of truth for pristine ToR distances: when set (and no
+  /// liveness mask is bound), the planner fills its matrix from the cost
+  /// model's cached distance rows — same unmasked distance graph, same
+  /// Dijkstra, identical values — instead of re-running its own sweep.
+  /// The model must outlive the planner.
+  const mig::MigrationCostModel* shared_rows = nullptr;
 };
 
 class KMedianPlanner {

@@ -106,11 +106,54 @@ std::vector<ProposedMove> propose_matching(const wl::Deployment& deployment,
   // Matching handles at most |open| VMs per pass (rows <= cols); the rest
   // waits for the next pass, like the paper's while-loop.
   const std::size_t batch = std::min(candidates.size(), open.size());
+  const bool prune = cost_model.pruning_enabled();
+
+  if (prune && batch == 1) {
+    // Bound-guarded argmin scan. A 1-row assignment reduces to a strict-<
+    // first-index argmin over the columns (both the Hungarian and the
+    // brute-force branch of solve_assignment scan ascending with strict <,
+    // and finalize() strips any kForbidden-level winner to kUnassigned —
+    // the kForbidden incumbent below reproduces that). A candidate whose
+    // admissible lower bound already reaches the incumbent can therefore
+    // be skipped without ever changing the selection: bound <= cost
+    // implies cost >= best, which the strict-< scan rejects anyway.
+    const wl::VmId vm = candidates[0];
+    double best = graph::AssignmentProblem::kForbidden;
+    std::size_t best_col = graph::AssignmentResult::kUnassigned;
+    for (std::size_t c = 0; c < open.size(); ++c) {
+      if (search_space != nullptr) ++*search_space;
+      if (!deployment.can_place(vm, open[c])) continue;
+      double base = 0.0;
+      if (cost_model.provably_infeasible(vm, open[c]) ||
+          cost_model.candidate_lower_bound(vm, open[c], &base) >= best) {
+        cost_model.note_pruned();
+        continue;
+      }
+      // The bound already paid the dependency walk; reusing its base makes
+      // the survivor's evaluation transmission-only (bitwise total_cost).
+      const double cost = cost_model.total_cost_with_base(vm, open[c], base);
+      if (cost < best) {
+        best = cost;
+        best_col = c;
+      }
+    }
+    if (best_col != graph::AssignmentResult::kUnassigned) out.push_back({vm, open[best_col], best});
+    return out;
+  }
+
   graph::AssignmentProblem problem(batch, open.size());
   for (std::size_t r = 0; r < batch; ++r) {
     for (std::size_t c = 0; c < open.size(); ++c) {
       if (search_space != nullptr) ++*search_space;
       if (!deployment.can_place(candidates[r], open[c])) continue;
+      // Dominance pruning is only selection-safe on the 1-row scan above
+      // (a multi-row Hungarian may pick any equal-cost optimum), but an
+      // entry that is *provably infinite* would never be set either way —
+      // skipping its evaluation leaves the matrix bit-identical.
+      if (prune && cost_model.provably_infeasible(candidates[r], open[c])) {
+        cost_model.note_pruned();
+        continue;
+      }
       const double cost = cost_model.total_cost(candidates[r], open[c]);
       if (std::isfinite(cost)) problem.set_cost(r, c, cost);
     }

@@ -15,16 +15,21 @@
 // neighbor of the VM (the post-move neighborhood span); this keeps the
 // term non-negative — as the assignment solvers require — while preserving
 // the paper's intent of penalizing moves away from communication partners.
+//
+// Hot path (DESIGN.md §14): distance trees live in a lock-free row cache
+// (one atomically published Row per root, replacing the historical
+// mutex + unordered_map), each Row carrying a destination-rack-keyed memo
+// of root→ToR link sequences; per-link bandwidth state is snapshotted once
+// per round into a CostSurface. Both are bit-transparent: every mode
+// produces the same CostBreakdown with the surface on or off.
 
+#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/dijkstra.hpp"
 #include "graph/graph.hpp"
+#include "migration/cost_surface.hpp"
 #include "net/fair_share.hpp"
 #include "topology/topology.hpp"
 #include "workload/deployment.hpp"
@@ -67,24 +72,40 @@ struct CostBreakdown {
   [[nodiscard]] double total() const noexcept { return computing + dependency + transmission; }
 };
 
+/// Monotone evaluation counters (process-lifetime; the engine publishes
+/// per-round deltas). `evaluated + pruned` over any matching sweep equals
+/// the sweep's exhaustive evaluation count — pruning is provably lossless,
+/// never a silent cap, and the identity is asserted in the tier-1 tests.
+struct CostModelStats {
+  std::uint64_t evaluated = 0;       ///< full Eq. (1) evaluations (cost() calls)
+  std::uint64_t pruned = 0;          ///< candidates skipped by the admissible bound
+  std::uint64_t surface_builds = 0;  ///< per-round CostSurface snapshots taken
+};
+
 /// Evaluates Eq. (1) for candidate moves on a fixed topology. Shortest
-/// (distance-weighted) paths are computed lazily per source host and
-/// cached; call `begin_round()` when the network state changes. Concurrent
-/// cost()/total_cost() calls are safe (the path cache is mutex-guarded),
-/// which lets every shim evaluate its proposals in parallel.
+/// (distance-weighted) trees are computed lazily per root and published
+/// into a lock-free row cache; call `begin_round()` when the network state
+/// changes. Concurrent cost()/total_cost() calls are safe (rows are
+/// immutable once published; a lost publication race discards the
+/// duplicate), which lets every shim evaluate its proposals in parallel.
 class MigrationCostModel {
  public:
   MigrationCostModel(const topo::Topology& topo, const wl::Deployment& deployment,
                      CostParams params = {});
+  ~MigrationCostModel();
+
+  MigrationCostModel(const MigrationCostModel&) = delete;
+  MigrationCostModel& operator=(const MigrationCostModel&) = delete;
 
   /// Installs the current bandwidth state (link loads from the fair-share
-  /// allocator). Without it, links are treated as idle.
+  /// allocator). Without it, links are treated as idle. With the surface
+  /// enabled this snapshots the per-link SoA arrays once for the round.
   void set_bandwidth_state(const net::FairShareResult* shares);
 
-  /// Invalidates the per-source path cache. With retention on (default)
-  /// this is a no-op: the trees are built on the immutable distance graph
-  /// and never depend on bandwidth state, so discarding them between
-  /// rounds only re-runs identical Dijkstras.
+  /// Invalidates the per-root row cache. With retention on (default) this
+  /// is a no-op: the trees are built on the immutable distance graph and
+  /// never depend on bandwidth state, so discarding them between rounds
+  /// only re-runs identical Dijkstras.
   void begin_round();
 
   /// Toggles tree retention across bandwidth-state changes. Disabling
@@ -98,7 +119,7 @@ class MigrationCostModel {
   /// wired graph are symmetric, so the spans are equal (up to FP summation
   /// order along a path); but a matching pass evaluates every candidate
   /// destination against a small partner set, so partner rooting shrinks
-  /// the tree cache from one tree per candidate host to one per partner —
+  /// the row cache from one tree per candidate host to one per partner —
   /// the dominant Dijkstra load of the manage phase.
   void set_partner_rooted(bool partner_rooted) noexcept { partner_rooted_ = partner_rooted; }
   [[nodiscard]] bool partner_rooted() const noexcept { return partner_rooted_; }
@@ -114,11 +135,60 @@ class MigrationCostModel {
   void set_shared_leaf_trees(bool shared) noexcept { shared_leaf_trees_ = shared; }
   [[nodiscard]] bool shared_leaf_trees() const noexcept { return shared_leaf_trees_; }
 
+  /// Toggles the per-round CostSurface (flat SoA link state + rack-keyed
+  /// link-sequence memos). Bit-transparent: the flat kernel replays the
+  /// legacy kernel's FP ops in the legacy order, so every CostBreakdown is
+  /// identical with the surface on or off. Serial-only toggle (clears the
+  /// row cache so memos are rebuilt in the right shape).
+  void set_surface_enabled(bool enabled);
+  [[nodiscard]] bool surface_enabled() const noexcept { return surface_enabled_; }
+
+  /// Toggles bound-guarded candidate pruning in propose_matching. The
+  /// bound is exact and admissible (see candidate_lower_bound), so the
+  /// selected moves are bitwise identical with pruning on or off; only the
+  /// evaluated/pruned counter split changes.
+  void set_pruning_enabled(bool enabled) noexcept { pruning_ = enabled; }
+  [[nodiscard]] bool pruning_enabled() const noexcept { return pruning_; }
+
+  [[nodiscard]] CostModelStats stats() const noexcept;
+
   /// Cost of migrating `vm` from its current host to `destination`.
   [[nodiscard]] CostBreakdown cost(wl::VmId vm, topo::NodeId destination) const;
 
   /// Total cost convenience: +inf when infeasible.
   [[nodiscard]] double total_cost(wl::VmId vm, topo::NodeId destination) const;
+
+  /// Admissible lower bound on total_cost(vm, destination): the exact
+  /// computing + dependency base (identical FP expression to cost()) plus,
+  /// when the surface is live, the cheapest transmission terms any path
+  /// must pay on its first link (incident to the source) and last link
+  /// (incident to the destination). Nonnegative left-folded partial sums
+  /// are monotone under rounding, so bound ≤ total_cost always — the
+  /// argmin can never be pruned away. +inf when the move is provably
+  /// infeasible (then total_cost is +inf too). When `base_out` is given it
+  /// receives the computing + dependency base, which the caller can hand
+  /// back to total_cost_with_base so a surviving candidate never pays the
+  /// dependency walk twice.
+  [[nodiscard]] double candidate_lower_bound(wl::VmId vm, topo::NodeId destination,
+                                             double* base_out = nullptr) const;
+
+  /// total_cost with the computing + dependency base precomputed by
+  /// candidate_lower_bound. total() folds (computing + dependency) +
+  /// transmission left-to-right and `base` is that exact inner sum, so
+  /// `base + transmission` is bitwise total_cost(vm, destination) — just
+  /// without re-walking the dependency set. Counts as one full evaluation
+  /// in the stats (it is one).
+  [[nodiscard]] double total_cost_with_base(wl::VmId vm, topo::NodeId destination,
+                                            double base) const;
+
+  /// True when every source→destination path is provably below B_t (or the
+  /// destination is the VM's own host): total_cost is certainly +inf, so
+  /// the matching layer can skip the evaluation at any batch size.
+  [[nodiscard]] bool provably_infeasible(wl::VmId vm, topo::NodeId destination) const;
+
+  /// Accounting hook for the matching layer: one candidate skipped by the
+  /// bound (would have been evaluated by the exhaustive sweep).
+  void note_pruned() const noexcept { pruned_.fetch_add(1, std::memory_order_relaxed); }
 
   [[nodiscard]] const CostParams& params() const noexcept { return params_; }
 
@@ -130,12 +200,42 @@ class MigrationCostModel {
   /// applied); 0 when unreachable. Feeds the live-migration timeline.
   [[nodiscard]] double path_bottleneck_bandwidth(wl::VmId vm, topo::NodeId destination) const;
 
+  /// Shared distance rows: the deterministic shortest-path tree rooted at
+  /// `root` on the immutable (unmasked) distance graph, built on demand
+  /// and cached. KMedianPlanner reuses these rows for its pristine-fabric
+  /// distance matrix so there is one source of truth for ToR distances.
+  [[nodiscard]] const graph::ShortestPathTree& distance_tree(topo::NodeId root) const;
+
  private:
+  /// One root's cache line: the Dijkstra tree plus (surface mode only) the
+  /// destination-rack-keyed memo of root→ToR link sequences along the
+  /// tree's deterministic paths. Immutable once published into rows_.
+  struct Row {
+    graph::ShortestPathTree tree;
+    std::vector<std::vector<topo::LinkId>> rack_links;
+    std::vector<std::uint8_t> rack_ok;
+  };
+
+  const Row& row_for(topo::NodeId root) const;
+  [[nodiscard]] Row* build_row(topo::NodeId root) const;
+  void clear_rows() const;
   const graph::ShortestPathTree& tree_for(topo::NodeId source) const;
   /// One shortest distance path `from` → `to` (empty when unreachable),
   /// routed through the shared leaf tree when the mode is on.
   [[nodiscard]] std::vector<topo::NodeId> shortest_path(topo::NodeId from,
                                                         topo::NodeId to) const;
+  /// Eq. (1)'s dependency term, shared verbatim between cost() and
+  /// candidate_lower_bound() so their FP results are identical.
+  [[nodiscard]] double dependency_cost(wl::VmId vm_id, topo::NodeId vm_host,
+                                       topo::NodeId destination) const;
+  /// Surface-mode transmission kernel: fills breakdown.transmission and
+  /// .feasible replaying the legacy per-link loop on the SoA arrays.
+  void surface_transmission(const wl::VirtualMachine& vm, topo::NodeId destination,
+                            CostBreakdown& breakdown) const;
+  /// Legacy transmission kernel (per-link walk against the fair-share
+  /// result), shared by cost() and total_cost_with_base.
+  void legacy_transmission(const wl::VirtualMachine& vm, topo::NodeId destination,
+                           CostBreakdown& breakdown) const;
 
   const topo::Topology* topo_;
   const wl::Deployment* deployment_;
@@ -145,11 +245,23 @@ class MigrationCostModel {
   bool retain_trees_ = true;
   bool partner_rooted_ = false;
   bool shared_leaf_trees_ = false;
-  // Values are stable pointers so concurrent readers can hold references
-  // across rehashes; the mutex only guards lookups/insertions.
-  mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<topo::NodeId, std::unique_ptr<graph::ShortestPathTree>>
-      tree_cache_;
+  bool surface_enabled_ = false;
+  bool pruning_ = false;
+  bool hosts_adjacent_ = false;  ///< any host—host link (disables the 2-link bound)
+  CostSurface surface_;
+  // Static leaf tables (hosts with exactly one wired link).
+  std::vector<std::uint8_t> single_homed_;  ///< per node: exactly one incident link
+  std::vector<std::uint8_t> rack_leaf_;     ///< single-homed AND leaf peer == own rack's ToR
+  std::vector<topo::LinkId> leaf_link_;     ///< the leaf link (valid iff single_homed_)
+  std::vector<topo::NodeId> leaf_tor_;      ///< the leaf peer (valid iff single_homed_)
+  // Lock-free row cache: slot published once via CAS, then immutable; a
+  // losing builder deletes its duplicate (rows are deterministic, so the
+  // winner's copy is identical). Cleared only at serial points.
+  mutable std::vector<std::atomic<Row*>> rows_;
+  // Evaluation counters (relaxed: monotone totals, read at serial points).
+  mutable std::atomic<std::uint64_t> evaluated_{0};
+  mutable std::atomic<std::uint64_t> pruned_{0};
+  mutable std::atomic<std::uint64_t> surface_builds_{0};
 };
 
 }  // namespace sheriff::mig

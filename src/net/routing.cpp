@@ -51,6 +51,33 @@ bool walk_ecmp(const graph::ShortestPathTree& tree, Flow& flow, std::size_t node
   return true;
 }
 
+/// walk_ecmp on a tree rooted at a single-homed source's sole neighbor
+/// `via` instead of the source itself. With unit hop weights every vertex
+/// v != src satisfies d_src(v) = 1 + d_via(v) *exactly* (integers in FP),
+/// so the tight-predecessor sets, the parent-list build order (the heap
+/// ties on (distance, vertex)), and the salt sequence along the shared
+/// segment are identical to the src-rooted tree's; the src-rooted walk's
+/// final via→src step draws a salt but has exactly one parent, so the
+/// deterministic append below reproduces it bit for bit.
+bool walk_ecmp_via(const graph::ShortestPathTree& tree, Flow& flow, topo::NodeId via,
+                   std::size_t node_count) {
+  if (tree.distance[flow.dst_host] == graph::kInfiniteDistance) return false;
+  std::vector<topo::NodeId> reverse_path{flow.dst_host};
+  topo::NodeId cur = flow.dst_host;
+  std::uint32_t salt = mix(flow.id * 0x9e3779b9U + 1U);
+  while (cur != via) {
+    const auto& parents = tree.parents[cur];
+    SHERIFF_REQUIRE(!parents.empty(), "broken shortest path tree");
+    salt = mix(salt + static_cast<std::uint32_t>(reverse_path.size()));
+    cur = parents[salt % parents.size()];
+    reverse_path.push_back(cur);
+    SHERIFF_REQUIRE(reverse_path.size() <= node_count, "routing loop detected");
+  }
+  reverse_path.push_back(flow.src_host);
+  flow.path.assign(reverse_path.rbegin(), reverse_path.rend());
+  return true;
+}
+
 }  // namespace
 
 bool Flow::transits(topo::NodeId node) const noexcept {
@@ -214,7 +241,24 @@ bool Router::route(Flow& flow, std::span<const topo::NodeId> blocked) const {
 
   bool ok;
   if (cache_enabled_) {
-    ok = walk_ecmp(tree_for(flow.src_host, blocked), flow, topo_->node_count());
+    // Single-homed sources (every fat-tree host) share their neighbor
+    // ToR's tree: the walk is bit-identical (see walk_ecmp_via) and the
+    // tree cache shrinks from one tree per querying host to one per ToR —
+    // the dominant Dijkstra load of the routing phase.
+    const auto leaf = hop_graph_.neighbors(flow.src_host);
+    if (leaf.size() == 1) {
+      const topo::NodeId via = leaf[0].to;
+      if (std::find(blocked.begin(), blocked.end(), via) != blocked.end()) {
+        ok = false;  // the source's only egress is blocked: no path exists
+      } else if (flow.dst_host == via) {
+        flow.path.assign({flow.src_host, via});
+        ok = true;
+      } else {
+        ok = walk_ecmp_via(tree_for(via, blocked), flow, via, topo_->node_count());
+      }
+    } else {
+      ok = walk_ecmp(tree_for(flow.src_host, blocked), flow, topo_->node_count());
+    }
   } else {
     std::vector<bool> blocked_mask;
     if (!blocked.empty()) {

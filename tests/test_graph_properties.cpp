@@ -2,7 +2,8 @@
 // observability sweep): the Hungarian assignment solver against the
 // permutation brute force that ships with it, and the knapsack DP against
 // a from-first-principles subset enumeration. 50 seeds each, instances
-// small enough (<= 8x8) that the exhaustive reference is exact.
+// small enough (<= 8x8) that the exhaustive reference is exact. Plus the
+// uniform-weight Dijkstra fast path against the general heap loop.
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "graph/dijkstra.hpp"
 #include "graph/knapsack.hpp"
 #include "graph/matching.hpp"
 
@@ -161,4 +163,63 @@ TEST(KnapsackProperties, ZeroBudgetSelectsNothing) {
   EXPECT_TRUE(dp.chosen.empty());
   EXPECT_DOUBLE_EQ(dp.total_value, 0.0);
   EXPECT_DOUBLE_EQ(brute.value, 0.0);
+}
+
+// --- uniform-weight Dijkstra fast path vs the heap loop ---------------------
+// dijkstra_into takes a level-synchronous fast path when every edge weight
+// is identical (uniform_weights()). The claim it must uphold: distances,
+// ECMP parent SETS, and parent ORDER are all bit-identical to the general
+// heap loop — the router's salt-indexed ECMP walks depend on parent order,
+// not just membership. Forcing the heap path on the same fabric is done by
+// appending a disconnected two-vertex component with a different edge
+// weight: uniformity is a global flag, but the extra component cannot
+// influence the main component's tree.
+
+TEST(DijkstraProperties, UniformFastPathMatchesHeapLoopBitwise) {
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    sc::Pcg32 rng(static_cast<std::uint64_t>(seed), 3);
+    const std::size_t n = 6 + rng.next_below(40);
+    const double w = (seed % 2 == 0) ? 1.0 : 0.25;
+    graph::Graph uniform(n);
+    graph::Graph mixed(n);
+    // Random connected-ish multigraph: a spine plus random extra edges
+    // (parallel edges allowed, as in the paper's rack multigraph T).
+    for (graph::Vertex v = 1; v < n; ++v) {
+      const graph::Vertex u = rng.next_below(v);
+      uniform.add_edge(u, v, w);
+      mixed.add_edge(u, v, w);
+    }
+    const std::size_t extra = rng.next_below(static_cast<std::uint32_t>(2 * n));
+    for (std::size_t i = 0; i < extra; ++i) {
+      const graph::Vertex u = rng.next_below(static_cast<std::uint32_t>(n));
+      const graph::Vertex v = rng.next_below(static_cast<std::uint32_t>(n));
+      if (u == v) continue;
+      uniform.add_edge(u, v, w);
+      mixed.add_edge(u, v, w);
+    }
+    // De-uniform the mixed copy without touching the main component.
+    const graph::Vertex a = mixed.add_vertex();
+    const graph::Vertex b = mixed.add_vertex();
+    mixed.add_edge(a, b, w * 0.5);
+    ASSERT_TRUE(uniform.uniform_weights());
+    ASSERT_FALSE(mixed.uniform_weights());
+
+    // A random blocked mask exercises the FLOWREROUTE path shape too.
+    std::vector<bool> blocked_uniform(n, false);
+    for (std::size_t v = 1; v < n; ++v) blocked_uniform[v] = rng.next_below(10) == 0;
+    std::vector<bool> blocked_mixed(blocked_uniform);
+    blocked_mixed.resize(n + 2, false);
+
+    const graph::Vertex source = rng.next_below(static_cast<std::uint32_t>(n));
+    for (const bool use_mask : {false, true}) {
+      const auto fast =
+          graph::dijkstra(uniform, source, use_mask ? blocked_uniform : std::vector<bool>{});
+      const auto heap =
+          graph::dijkstra(mixed, source, use_mask ? blocked_mixed : std::vector<bool>{});
+      for (graph::Vertex v = 0; v < n; ++v) {
+        EXPECT_EQ(fast.distance[v], heap.distance[v]) << "seed " << seed << " v " << v;
+        EXPECT_EQ(fast.parents[v], heap.parents[v]) << "seed " << seed << " v " << v;
+      }
+    }
+  }
 }

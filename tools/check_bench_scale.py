@@ -7,11 +7,12 @@ Compares a freshly produced BENCH_scale.json against the committed baseline
 cancels out hardware speed and transfers across CI runners, while absolute
 rounds/sec would not.
 
-Three ratios are gated per scenario:
+Four ratios are gated per scenario:
 
-  speedup       end-to-end rounds/sec, optimized vs naive
-  manage_ratio  manage-phase wall time, naive vs optimized (schema v2)
-  net_ratio     fair-share + routing wall time, naive vs optimized (schema v4)
+  speedup         end-to-end rounds/sec, optimized vs naive
+  manage_ratio    manage-phase wall time, naive vs optimized (schema v2)
+  net_ratio       fair-share + routing wall time, naive vs optimized (schema v4)
+  decision_ratio  migration decision kernel wall time, naive vs optimized (schema v5)
 
 A scenario passes when
 
@@ -27,7 +28,11 @@ they are informational here, the gated ratios are unchanged. Schema v4 adds
 the network hot path: per-scenario `net_ratio` (naive vs optimized
 fair_share + routing wall time, gated when the baseline records a
 `min_net_ratio`) plus informational fair_share build/fill sub-phase
-timings and component/arena gauges.
+timings and component/arena gauges. Schema v5 adds the migration decision
+kernel: per-scenario `decision_ratio` (naive vs optimized manage_decision
+wall time — the Eq. (1) cost evaluations inside the manage phase, gated
+when the baseline records a `min_decision_ratio`) plus an informational
+phases_ns.manage_decision entry.
 
 A scenario named in the baseline but absent from the bench output is a hard
 FAIL before any ratio check, with the set difference spelled out — a bench
@@ -45,12 +50,14 @@ BENCH_SCHEMAS = (
     "sheriff.bench_scale.v2",
     "sheriff.bench_scale.v3",
     "sheriff.bench_scale.v4",
+    "sheriff.bench_scale.v5",
 )
 BASELINE_SCHEMAS = (
     "sheriff.bench_scale.baseline.v1",
     "sheriff.bench_scale.baseline.v2",
     "sheriff.bench_scale.baseline.v3",
     "sheriff.bench_scale.baseline.v4",
+    "sheriff.bench_scale.baseline.v5",
 )
 
 
@@ -112,6 +119,7 @@ def main() -> None:
         for label, min_key, schema_hint in (
             ("manage_ratio", "min_manage_ratio", "v2"),
             ("net_ratio", "min_net_ratio", "v4"),
+            ("decision_ratio", "min_decision_ratio", "v5"),
         ):
             if min_key not in ref:
                 continue  # older baseline: this gate not recorded
